@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark file regenerates one table/figure of the reconstructed
+evaluation (see DESIGN.md's experiment index), measures its runtime with
+pytest-benchmark, prints the table (visible with ``-s`` or in the captured
+output), and asserts the *shape* properties the paper claims — who wins,
+and roughly where.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def regenerate(benchmark, experiment_fn, **kwargs):
+    """Run one experiment exactly once under the benchmark timer."""
+    result = benchmark.pedantic(
+        lambda: experiment_fn(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,33 @@
+"""E1 — the main result: speedups of all machine points over conservative.
+
+Paper anchors (abstract): DSRE averages **+17%** over the best dependence
+predictor (store sets + flush) and reaches **82% of a perfect oracle**.
+Our substrate reproduces the *ordering* — DSRE beats the predictor, and
+sits at or near the oracle — with magnitudes that depend on the kernel
+suite's conflict mix (see EXPERIMENTS.md for the measured numbers).
+"""
+
+from repro.harness import e1_main
+
+from conftest import regenerate
+
+
+def test_e1_main_result(benchmark):
+    table = regenerate(benchmark, e1_main, fast=True)
+    geo = table.data["geomean"]
+
+    # Ordering claims (the paper's qualitative shape):
+    # 1. DSRE beats the best conventional predictor overall.
+    assert geo["dsre"] >= geo["storeset"], geo
+    # 2. DSRE beats always-speculate-and-flush overall.
+    assert geo["dsre"] > geo["aggressive"], geo
+    # 3. DSRE achieves a high fraction of the oracle (paper: 82%).
+    assert table.data["dsre_fraction_of_oracle"] >= 0.82, geo
+    # 4. Everything beats conservative on balance.
+    for point in ("aggressive", "storeset", "dsre", "oracle"):
+        assert geo[point] >= 1.0, (point, geo)
+
+    benchmark.extra_info["geomean"] = {k: round(v, 4)
+                                       for k, v in geo.items()}
+    benchmark.extra_info["dsre_over_storeset_pct"] = round(
+        100 * table.data["dsre_over_storeset"], 2)

@@ -1,0 +1,28 @@
+"""E2 — window-size scaling: IPC of flush vs DSRE as frames grow.
+
+The paper's scalability claim: selective re-execution keeps delivering as
+the window scales to thousands of instructions, where flush-based recovery
+throws away ever-larger windows per mis-speculation.
+"""
+
+from repro.harness import e2_window
+
+from conftest import regenerate
+
+FRAMES = (1, 2, 8, 32)
+
+
+def test_e2_window_scaling(benchmark):
+    table = regenerate(benchmark, e2_window, fast=True, frames=FRAMES,
+                       kernels=("vecsum", "stencil", "queue"))
+    ipc = table.data["ipc"]
+
+    for (kernel, point), series in ipc.items():
+        # Larger windows never hurt (monotone within noise).
+        assert series[-1] >= series[0] * 0.95, (kernel, point, series)
+
+    # On the conflict-free streaming kernel, both mechanisms scale well.
+    assert ipc[("vecsum", "dsre")][-1] > 1.5 * ipc[("vecsum", "dsre")][0]
+    # On the conflict-heavy kernel, DSRE at the largest window beats the
+    # predictor at the largest window.
+    assert ipc[("stencil", "dsre")][-1] >= ipc[("stencil", "storeset")][-1]

@@ -1,0 +1,31 @@
+"""E3 — recovery cost per mis-speculation: squashed instructions (flush)
+vs selectively re-executed instructions (DSRE).
+
+This is the paper's core mechanism argument: a flush discards the whole
+younger window, while DSRE re-executes only the affected dataflow cone.
+"""
+
+from repro.harness import e3_recovery_cost
+from repro.stats.report import geomean
+
+from conftest import regenerate
+
+
+def test_e3_recovery_cost(benchmark):
+    table = regenerate(benchmark, e3_recovery_cost, fast=True)
+    data = table.data
+
+    ratios = []
+    for kernel, row in data.items():
+        if row["violations"] == 0 or row["redeliveries"] == 0:
+            continue
+        # Selective re-execution must be much cheaper per event than a
+        # flush: the squash cost exceeds the re-execution cost.
+        assert row["squashed_per_violation"] > row["reexec_per_redelivery"], \
+            (kernel, row)
+        ratios.append(row["squashed_per_violation"]
+                      / max(0.5, row["reexec_per_redelivery"]))
+    assert ratios, "no kernel produced both violations and re-deliveries"
+    benchmark.extra_info["geomean_cost_ratio"] = round(geomean(ratios), 2)
+    # On these kernels a flush is several times costlier per event.
+    assert geomean(ratios) > 3.0

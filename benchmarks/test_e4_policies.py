@@ -1,0 +1,29 @@
+"""E4 — full (policy, recovery) cross product, including the hybrid
+store-set + DSRE machine the five standard points omit."""
+
+from repro.harness import e4_policies
+from repro.stats.report import geomean
+
+from conftest import regenerate
+
+
+def test_e4_policy_cross_product(benchmark):
+    table = regenerate(benchmark, e4_policies, fast=True)
+    ipc = table.data["ipc"]
+    kernels = {k for (k, _, _) in ipc}
+
+    for kernel in kernels:
+        # Oracle with flush recovery is broadly at least as good as
+        # aggressive with flush recovery (it never pays a violation).  The
+        # one systematic exception is mostly-silent-store code (bubble):
+        # a dependence oracle waits for stores that would not have changed
+        # the value, while a lucky speculator sails through.
+        assert ipc[(kernel, "oracle", "flush")] >= \
+            0.80 * ipc[(kernel, "aggressive", "flush")], kernel
+
+    # DSRE as a recovery substrate never needs the predictor much: the
+    # hybrid's geomean lands close to plain DSRE.
+    plain = geomean([ipc[(k, "aggressive", "dsre")] for k in kernels])
+    hybrid = geomean([ipc[(k, "storeset", "dsre")] for k in kernels])
+    assert abs(plain - hybrid) / plain < 0.25
+    benchmark.extra_info["dsre_plain_vs_hybrid"] = round(hybrid / plain, 3)

@@ -1,0 +1,34 @@
+"""E5 — operand-network sensitivity: IPC vs hop latency.
+
+DSRE's speculative waves *and* its commit wave ride the operand network,
+so it is at least as network-sensitive as the flush machine.
+"""
+
+from repro.harness import e5_network
+
+from conftest import regenerate
+
+HOPS = (1, 2, 4)
+
+
+def test_e5_network_sensitivity(benchmark):
+    table = regenerate(benchmark, e5_network, fast=True,
+                       hop_latencies=HOPS,
+                       kernels=("vecsum", "stencil"))
+    ipc = table.data["ipc"]
+
+    for (kernel, point), series in ipc.items():
+        # Slower network never helps.
+        assert series[0] >= series[-1], (kernel, point, series)
+        # And it must actually hurt measurably at 4 cycles/hop.
+        assert series[-1] < series[0], (kernel, point, series)
+
+    # Degradation factor from hop=1 to hop=4 for DSRE on the conflict
+    # kernel should be at least as large as for the predictor machine
+    # (the commit wave multiplies the traffic).
+    dsre_deg = ipc[("stencil", "dsre")][0] / ipc[("stencil", "dsre")][-1]
+    ss_deg = (ipc[("stencil", "storeset")][0]
+              / ipc[("stencil", "storeset")][-1])
+    benchmark.extra_info["dsre_degradation"] = round(dsre_deg, 3)
+    benchmark.extra_info["storeset_degradation"] = round(ss_deg, 3)
+    assert dsre_deg > 1.1

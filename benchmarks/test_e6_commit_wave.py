@@ -1,0 +1,28 @@
+"""E6 — what the commit wave costs: messages and executions per committed
+instruction, DSRE vs the store-set machine."""
+
+from repro.harness import e6_commit_wave
+from repro.stats.report import geomean
+
+from conftest import regenerate
+
+
+def test_e6_commit_wave_overhead(benchmark):
+    table = regenerate(benchmark, e6_commit_wave, fast=True)
+    data = table.data
+
+    msg_ratios = []
+    for kernel, row in data.items():
+        # The commit wave adds network traffic relative to flush machines.
+        assert row["msgs_dsre"] >= row["msgs_ss"] * 0.99, (kernel, row)
+        msg_ratios.append(row["msgs_dsre"] / row["msgs_ss"])
+        # A large share of DSRE traffic is final (commit-wave) tokens.
+        assert row["final_pct"] > 25.0, (kernel, row)
+        # Execution counts stay comparable; DSRE trades the flush machine's
+        # squashed work for re-executions, so neither dominates by much.
+        assert row["exec_dsre"] >= row["exec_ss"] * 0.80, (kernel, row)
+
+    benchmark.extra_info["geomean_msg_overhead"] = round(
+        geomean(msg_ratios), 3)
+    # Traffic overhead is real but bounded (well under 3x).
+    assert geomean(msg_ratios) < 3.0

@@ -1,0 +1,34 @@
+"""E7 — synthetic conflict-rate sweep: where mechanisms cross over.
+
+As the true-dependence rate rises, aggressive+flush degrades steeply, the
+store-set machine pays its over-serialisation early then wins at very high
+rates, and DSRE tracks the oracle throughout.
+"""
+
+from repro.harness import e7_conflict_sweep
+
+from conftest import regenerate
+
+RATES = (0.0, 0.25, 0.5, 1.0)
+
+
+def test_e7_conflict_sweep(benchmark):
+    table = regenerate(benchmark, e7_conflict_sweep, fast=True, rates=RATES)
+    norm = table.data["norm"]
+
+    # At zero conflicts everyone matches the oracle.
+    for point in ("aggressive", "storeset", "dsre"):
+        assert norm[point][0] < 1.05, (point, norm[point])
+
+    # Aggressive+flush degrades monotonically and substantially.
+    assert norm["aggressive"][-1] > 1.5
+    assert norm["aggressive"][-1] > norm["aggressive"][0]
+
+    # DSRE stays close to the oracle across the whole sweep.
+    assert max(norm["dsre"]) < 1.25
+
+    # At the highest rate DSRE beats aggressive+flush decisively.
+    assert norm["dsre"][-1] < norm["aggressive"][-1] / 1.3
+
+    benchmark.extra_info["normalised"] = {
+        p: [round(v, 3) for v in series] for p, series in norm.items()}

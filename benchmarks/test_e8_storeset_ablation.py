@@ -1,0 +1,29 @@
+"""E8 — store-set capacity ablation: does a bigger predictor close the gap
+to DSRE?  (Aliasing hurts small tables; even large tables over-serialise
+on shared static pairs, which is where DSRE's per-instance recovery wins.)"""
+
+from repro.harness import e8_storeset_ablation
+
+from conftest import regenerate
+
+SIZES = (16, 256, 1024)
+
+
+def test_e8_storeset_capacity(benchmark):
+    table = regenerate(benchmark, e8_storeset_ablation, fast=True,
+                       sizes=SIZES)
+    data = table.data["ipc"]
+
+    for kernel, row in data.items():
+        series = row["storeset"]
+        # Capacity never hurts much (bigger table >= ~small table).
+        assert series[-1] >= series[0] * 0.9, (kernel, series)
+
+    # On the conflict-heavy stencil, DSRE beats every predictor size.
+    stencil = data["stencil"]
+    assert stencil["dsre"] >= max(stencil["storeset"]) * 0.99
+
+    benchmark.extra_info["ipc"] = {
+        k: {"storeset": [round(v, 3) for v in row["storeset"]],
+            "dsre": round(row["dsre"], 3)}
+        for k, row in data.items()}

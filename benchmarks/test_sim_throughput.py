@@ -1,0 +1,41 @@
+"""Simulator throughput: how fast the Python model itself runs.
+
+Not a paper experiment — a health metric for the repository.  Regressions
+here make the full-scale harness painful, so the benchmark pins a floor.
+"""
+
+import time
+
+from repro.harness.runner import golden_of, run_point
+from repro.workloads import KERNELS
+
+
+def test_simulator_throughput(benchmark):
+    instance = KERNELS["vecsum"].build(200)
+    golden_of(instance)                      # exclude golden run from timing
+
+    def simulate():
+        return run_point(instance, "dsre")
+
+    result = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    committed = result.stats.committed_instructions
+    elapsed = benchmark.stats.stats.mean
+    rate = committed / elapsed
+    benchmark.extra_info["committed_insts"] = committed
+    benchmark.extra_info["insts_per_sec"] = round(rate)
+    # Floor: the model must stay usable (>2k committed inst/s here).
+    assert rate > 2_000
+
+
+def test_functional_model_throughput(benchmark):
+    from repro.arch import run_program
+    instance = KERNELS["dotprod"].build(800)
+
+    def interpret():
+        return run_program(instance.program, instance.initial_regs)
+
+    trace, _ = benchmark.pedantic(interpret, rounds=3, iterations=1)
+    rate = trace.dynamic_instructions / benchmark.stats.stats.mean
+    benchmark.extra_info["insts_per_sec"] = round(rate)
+    # The golden model is roughly an order of magnitude faster.
+    assert rate > 20_000

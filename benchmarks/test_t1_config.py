@@ -1,0 +1,23 @@
+"""T1 — machine configuration table."""
+
+from repro.harness import table_t1
+from repro.uarch import default_config
+
+from conftest import regenerate
+
+
+def test_t1_machine_configuration(benchmark):
+    table = regenerate(benchmark, table_t1)
+    params = dict(zip(table.column("Parameter"), table.column("Value")))
+    assert params["Recovery"] == "dsre"
+    assert "1024" in params["Instruction window"]
+    assert len(table.rows) >= 10
+
+
+def test_t1_tracks_overrides(benchmark):
+    config = default_config(max_frames=16, recovery="flush")
+    table = benchmark.pedantic(lambda: table_t1(config),
+                               rounds=1, iterations=1)
+    params = dict(zip(table.column("Parameter"), table.column("Value")))
+    assert params["Recovery"] == "flush"
+    assert "2048" in params["Instruction window"]

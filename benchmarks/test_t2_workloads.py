@@ -1,0 +1,17 @@
+"""T2 — workload characterisation table."""
+
+from repro.harness import table_t2
+
+from conftest import regenerate
+
+
+def test_t2_workload_characterisation(benchmark):
+    table = regenerate(benchmark, table_t2, fast=True)
+    rows = {row[0]: row for row in table.rows}
+    assert len(rows) == 14
+
+    # Serial kernels must be dependence-dense, streaming kernels clean.
+    for kernel in ("memaccum", "memmove", "fibmem"):
+        assert float(rows[kernel][6]) > 50.0, kernel
+    for kernel in ("vecsum", "dotprod", "memcpy", "crc"):
+        assert float(rows[kernel][6]) == 0.0, kernel

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Compile a kernel from the EK language and race it across machine points.
+
+The kernel is a memoised table computation (every iteration reads the two
+previous iterations' stores), written in the high-level kernel language and
+compiled through the full pipeline: lexer -> parser -> if-conversion /
+constant folding -> EDGE blocks -> validated program -> cycle simulator.
+
+Run:  python examples/compile_and_run.py
+"""
+
+from repro.compiler import compile_source
+from repro.harness import POINT_ORDER, run_points
+from repro.stats.report import Table
+from repro.workloads.common import KernelInstance
+
+SOURCE = """
+# Padovan-style sequence through a memory table:
+#   t[i] = t[i-2] + t[i-3]   (true dependences at distance 2 and 3)
+array t[120] = [1, 1, 1]
+var i = 3
+while i < 120 {
+    t[i] = t[i - 2] + t[i - 3]
+    i = i + 1
+}
+return t[119]
+"""
+
+
+def reference() -> int:
+    t = [1, 1, 1] + [0] * 117
+    for i in range(3, 120):
+        t[i] = (t[i - 2] + t[i - 3]) & ((1 << 64) - 1)
+    return t[119]
+
+
+def main():
+    compiled = compile_source(SOURCE)
+    print("compiled blocks:", ", ".join(compiled.program.blocks))
+    print(f"static instructions: "
+          f"{compiled.program.total_static_instructions()}\n")
+
+    instance = KernelInstance(
+        name="ek-padovan", program=compiled.program,
+        expected_regs={compiled.result_reg: reference()})
+
+    results = run_points(instance)
+    table = Table("Compiled kernel across machine points",
+                  ["point", "cycles", "IPC", "re-deliveries", "violations"])
+    for point in POINT_ORDER:
+        stats = results[point].stats
+        table.add_row(point, stats.cycles, stats.ipc,
+                      stats.load_redeliveries, stats.violation_flushes)
+    print(table.render())
+    print(f"\nresult t[119] = {reference()} (verified on every point)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Dependence speculation in action: the paper's five machine points on a
+conflict-heavy kernel.
+
+The workload is the in-place stencil sweep (every block's load reads the
+previous block's store).  Conservative issue serialises; aggressive issue
+with flush recovery thrashes; the store-set predictor learns the dependence
+and waits; DSRE speculates and repairs with selective re-execution; the
+oracle shows the ceiling.
+
+Run:  python examples/dependence_speculation.py
+"""
+
+from repro.harness import POINT_ORDER, run_points
+from repro.stats.report import Table
+from repro.workloads import get_kernel
+
+
+def main():
+    kernel = get_kernel("stencil")
+    instance = kernel.build(120)
+    print(f"kernel: {kernel.name} — {kernel.description}")
+    print(f"~{instance.approx_blocks} dynamic blocks\n")
+
+    results = run_points(instance)
+
+    table = Table("Machine points on the stencil kernel",
+                  ["point", "cycles", "IPC", "speedup", "violations",
+                   "re-deliveries", "re-executions"])
+    base = results["conservative"].stats.cycles
+    for point in POINT_ORDER:
+        stats = results[point].stats
+        table.add_row(point, stats.cycles, stats.ipc,
+                      base / stats.cycles, stats.violation_flushes,
+                      stats.load_redeliveries, stats.reexecutions)
+    print(table.render())
+
+    dsre = results["dsre"].stats
+    flush = results["aggressive"].stats
+    print(f"\nFlush recovery threw away {flush.squashed_executions} "
+          f"executions across {flush.violation_flushes} violations;")
+    print(f"DSRE instead re-executed {dsre.reexecutions} instructions for "
+          f"{dsre.load_redeliveries} corrected loads — no flushes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — a from-scratch reproduction of *"Scalable selective re-execution
+for EDGE architectures"* (Desikan, Sethumadhavan, Burger & Keckler,
+ASPLOS 2004).
+
+The package provides:
+
+* an EDGE-style block-atomic ISA with a builder DSL and text assembler
+  (:mod:`repro.isa`),
+* a functional golden-model interpreter (:mod:`repro.arch`),
+* a cycle-level distributed microarchitecture — tile grid, operand mesh,
+  LSQ, caches, next-block prediction (:mod:`repro.uarch`),
+* the paper's contribution, the **DSRE protocol** — wave-tagged tokens,
+  selective re-execution, and the trailing commit wave (:mod:`repro.core`),
+* load/store dependence-speculation policies including store sets and a
+  perfect oracle (:mod:`repro.spec`),
+* a self-checking kernel suite plus a synthetic conflict-rate generator
+  (:mod:`repro.workloads`), and
+* the experiment harness that regenerates every evaluation table
+  (:mod:`repro.harness`).
+
+Quickstart::
+
+    from repro import ProgramBuilder, Processor, default_config
+
+    pb = ProgramBuilder(entry="main")
+    b = pb.block("main")
+    b.write(1, b.add(b.movi(2), imm=3))
+    b.branch("@halt")
+    result = Processor(pb.build(), default_config()).run()
+    print(result.summary())
+"""
+
+from .arch import ArchState, ExecutionTrace, Interpreter, run_program
+from .errors import (AssemblerError, BlockValidationError, CompileError,
+                     ConfigError, EncodingError, ExecutionError,
+                     GoldenMismatchError, IsaError, ReproError,
+                     SimulationError)
+from .isa import (Block, BlockBuilder, Instruction, Opcode, Program,
+                  ProgramBuilder)
+from .uarch import MachineConfig, Processor, SimResult, default_config
+from .workloads import (KERNELS, SynthParams, build_kernel, build_synthetic,
+                        get_kernel)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchState", "AssemblerError", "Block", "BlockBuilder",
+    "BlockValidationError", "CompileError", "ConfigError", "EncodingError",
+    "ExecutionError", "ExecutionTrace", "GoldenMismatchError", "Instruction",
+    "Interpreter", "IsaError", "KERNELS", "MachineConfig", "Opcode",
+    "Processor", "Program", "ProgramBuilder", "ReproError", "SimResult",
+    "SimulationError", "SynthParams", "build_kernel", "build_synthetic",
+    "default_config", "get_kernel", "run_program", "__version__",
+]

@@ -1,0 +1,13 @@
+"""Functional architecture model: golden-model interpreter, state, traces."""
+
+from .interp import DEFAULT_MAX_BLOCKS, Interpreter, run_program
+from .memory import SparseMemory
+from .state import ArchState
+from .trace import (BlockRecord, DynStoreId, ExecutionTrace, LoadRecord,
+                    StoreRecord)
+
+__all__ = [
+    "ArchState", "BlockRecord", "DEFAULT_MAX_BLOCKS", "DynStoreId",
+    "ExecutionTrace", "Interpreter", "LoadRecord", "SparseMemory",
+    "StoreRecord", "run_program",
+]

@@ -1,0 +1,26 @@
+"""EK kernel-language compiler: lexer, parser, EDGE code generation.
+
+Compile a tiny imperative language to validated EDGE programs::
+
+    from repro.compiler import compile_source
+
+    compiled = compile_source('''
+        var i = 0
+        var sum = 0
+        array a[8] = [1, 2, 3, 4, 5, 6, 7, 8]
+        while i < 8 {
+            sum = sum + a[i]
+            i = i + 1
+        }
+        return sum
+    ''')
+    # compiled.program is a repro.isa Program; the result lands in R2.
+"""
+
+from .ast_nodes import ProgramAst
+from .codegen import RESULT_REG, CompiledProgram, compile_source
+from .lexer import tokenize
+from .parser import parse
+
+__all__ = ["CompiledProgram", "ProgramAst", "RESULT_REG", "compile_source",
+           "parse", "tokenize"]

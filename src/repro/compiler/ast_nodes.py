@@ -1,0 +1,92 @@
+"""AST for the EK kernel language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class Number(Expr):
+    value: int = 0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """Array element read: ``a[expr]``."""
+
+    array: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class UnOp(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ArrayDecl(Stmt):
+    name: str = ""
+    size: int = 0
+    init: List[int] = field(default_factory=list)
+
+
+@dataclass
+class Assign(Stmt):
+    """``name = expr`` or ``name[index] = expr``."""
+
+    target: str = ""
+    index: Optional[Expr] = None      # None => scalar assignment
+    value: Optional[Expr] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ProgramAst:
+    statements: List[Stmt] = field(default_factory=list)

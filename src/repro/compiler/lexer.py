@@ -1,0 +1,97 @@
+"""Lexer for the EK kernel language.
+
+EK is a tiny imperative language for writing EDGE workloads::
+
+    var i = 0
+    var sum = 0
+    array a[8] = [1, 2, 3, 4, 5, 6, 7, 8]
+    while i < 8 {
+        sum = sum + a[i]
+        i = i + 1
+    }
+    return sum
+
+Tokens: identifiers, integer literals (decimal/hex), operators,
+punctuation, and the keywords ``var array while if else return``.
+``#`` starts a line comment.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import CompileError
+
+KEYWORDS = frozenset({"var", "array", "while", "if", "else", "return"})
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    OP = "op"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.text!r}@{self.line}"
+
+
+#: Longest-first so multi-char operators win.
+_OPERATORS = ["<<", ">>", "==", "!=", "<=", ">=", "&&", "||",
+              "+", "-", "*", "/", "%", "&", "|", "^", "~", "<", ">", "=",
+              "!"]
+_PUNCT = ["(", ")", "{", "}", "[", "]", ",", ";"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<newline>\n)
+  | (?P<number>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op>""" + "|".join(re.escape(op) for op in _OPERATORS) + r""")
+  | (?P<punct>""" + "|".join(re.escape(p) for p in _PUNCT) + r""")
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex ``source`` into a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise CompileError(
+                f"unexpected character {source[pos]!r}", line)
+        pos = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        if match.lastgroup == "newline":
+            line += 1
+            continue
+        text = match.group()
+        if match.lastgroup == "number":
+            tokens.append(Token(TokKind.NUMBER, text, line))
+        elif match.lastgroup == "ident":
+            kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+            tokens.append(Token(kind, text, line))
+        elif match.lastgroup == "op":
+            tokens.append(Token(TokKind.OP, text, line))
+        else:
+            tokens.append(Token(TokKind.PUNCT, text, line))
+    tokens.append(Token(TokKind.EOF, "<eof>", line))
+    return tokens

@@ -1,0 +1,156 @@
+"""Multi-producer token buffers.
+
+An operand slot may be targeted by several static producers (mutually
+exclusive predicated instructions).  The buffer remembers the *latest* token
+per producer and derives:
+
+* the slot's **effective value** — the non-null token with the highest
+  ``(wave, producer order)``, so re-executions supersede earlier waves and
+  ties between producers resolve deterministically;
+* **resolution** — a slot resolves as soon as any non-null token arrives
+  (eager firing), or when every producer has declined (ALL_NULL);
+* **finality** — the slot is final once every producer has sent a final
+  token; a final slot with more than one non-null final token indicates a
+  malformed program and raises.
+
+This one data structure is what makes selective re-execution, predicate
+nullification and the commit wave compose: deposits return whether the
+effective state changed, and the owning node re-fires exactly when it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from .tokens import ProducerKey, SlotStatus, Token, TokenValue
+
+
+@dataclass
+class _Latest:
+    wave: int
+    value: TokenValue
+    final: bool
+
+
+@dataclass(frozen=True)
+class Effective:
+    """Snapshot of a slot's resolved state (hashable for signatures)."""
+
+    status: SlotStatus
+    value: TokenValue = None
+    producer: Optional[ProducerKey] = None
+    wave: int = -1
+
+    @property
+    def resolved(self) -> bool:
+        return self.status is not SlotStatus.EMPTY
+
+
+EMPTY_EFFECTIVE = Effective(SlotStatus.EMPTY)
+
+
+class TokenBuffer:
+    """Latest-token-per-producer buffer for one consumption point."""
+
+    __slots__ = ("_order", "_latest", "_effective")
+
+    def __init__(self, producers: Sequence[ProducerKey]):
+        if not producers:
+            raise SimulationError("token buffer with no static producers")
+        self._order: Dict[ProducerKey, int] = {
+            p: n for n, p in enumerate(producers)}
+        self._latest: Dict[ProducerKey, _Latest] = {}
+        self._effective: Effective = EMPTY_EFFECTIVE
+
+    # ------------------------------------------------------------------
+
+    def deposit(self, token: Token) -> Tuple[bool, bool]:
+        """Absorb a token; return ``(effective_changed, finality_changed)``.
+
+        Stale tokens (lower wave than already seen from the same producer)
+        are dropped — they lost a race against a newer re-execution.
+        """
+        producer = token.producer
+        if producer not in self._order:
+            raise SimulationError(
+                f"token from unknown producer {producer}: {token}")
+        current = self._latest.get(producer)
+        if current is not None and token.wave < current.wave:
+            return False, False
+        was_final = self.is_final()
+        if current is not None and token.wave == current.wave:
+            if current.value != token.value:
+                raise SimulationError(
+                    f"producer {producer} sent two different values at "
+                    f"wave {token.wave}")
+            if current.final or not token.final:
+                return False, False
+            current.final = True
+        else:
+            self._latest[producer] = _Latest(
+                token.wave, token.value, token.final)
+        old = self._effective
+        self._recompute()
+        finality_changed = self.is_final() and not was_final
+        effective_changed = (old.status, old.value) != (
+            self._effective.status, self._effective.value)
+        return effective_changed, finality_changed
+
+    def _recompute(self) -> None:
+        best: Optional[Tuple[int, int]] = None
+        best_producer: Optional[ProducerKey] = None
+        nulls = 0
+        for producer, latest in self._latest.items():
+            if latest.value is None:
+                nulls += 1
+                continue
+            key = (latest.wave, self._order[producer])
+            if best is None or key > best:
+                best = key
+                best_producer = producer
+        if best_producer is not None:
+            latest = self._latest[best_producer]
+            self._effective = Effective(
+                SlotStatus.VALUE, latest.value, best_producer, latest.wave)
+        elif nulls == len(self._order):
+            self._effective = Effective(SlotStatus.ALL_NULL)
+        else:
+            self._effective = EMPTY_EFFECTIVE
+
+    # ------------------------------------------------------------------
+
+    @property
+    def effective(self) -> Effective:
+        return self._effective
+
+    @property
+    def resolved(self) -> bool:
+        return self._effective.resolved
+
+    def is_final(self) -> bool:
+        """True when every producer has committed (sent a final token)."""
+        if len(self._latest) != len(self._order):
+            return False
+        non_null_finals = 0
+        for latest in self._latest.values():
+            if not latest.final:
+                return False
+            if latest.value is not None:
+                non_null_finals += 1
+        if non_null_finals > 1:
+            raise SimulationError(
+                "slot finalised with more than one non-null producer "
+                "(program has two unconditional writers)")
+        return True
+
+    def final_effective(self) -> Effective:
+        """The effective value once final (callers must check is_final)."""
+        return self._effective
+
+    def producers(self) -> List[ProducerKey]:
+        return list(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)

@@ -1,0 +1,260 @@
+"""Per-instruction dataflow node: the selective re-execution state machine.
+
+A node wraps one mapped instruction of one in-flight frame.  It owns a
+:class:`~repro.core.buffers.TokenBuffer` per required operand slot and
+implements the three rules of the DSRE protocol:
+
+**Fire rule** — a node issues when every required slot is resolved and its
+current effective inputs differ from the inputs of its last issue.  The
+first condition gives ordinary dataflow firing; the second gives *selective
+re-execution*: only nodes whose inputs actually changed re-fire, and a
+re-fired node tags its outputs with a higher wave.
+
+**Suppression rule** — a re-execution that recomputes the *same* output does
+not emit tokens, so a speculative wave dies out at the first instruction
+whose value is unaffected (this is what keeps DSRE cheap relative to a
+flush).
+
+**Commit rule** — once all input slots are final and the node's last
+execution used exactly those final inputs, the node's output is final and a
+commit-wave token is emitted (or, if the value was already sent and inputs
+were final at that time, the original token was already marked final —
+``eager finality``).  Loads are the exception: their finality additionally
+requires LSQ confirmation, which is the paper's load-speculation resolution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..isa.instruction import Instruction, Slot
+from ..isa.opcodes import Opcode
+from ..isa.semantics import effective_address, evaluate_alu
+from ..isa.values import is_true, to_unsigned
+from .buffers import Effective, SlotStatus, TokenBuffer
+from .tokens import ProducerKey, Token, TokenValue
+
+#: Signature of an issue: per required slot, the (producer, wave) that fed it
+#: (``None`` entries stand for ALL_NULL slots).
+IssueSignature = Tuple[Tuple[Slot, Optional[Tuple[ProducerKey, int]]], ...]
+
+
+class OutcomeKind(enum.Enum):
+    NULL = "null"              # predicated off (or null inputs): emit NULLs
+    VALUE = "value"            # a computed value: emit to targets
+    LOAD_REQUEST = "load"      # address ready: hand to the LSQ
+    STORE_UPDATE = "store"     # address+data ready: hand to the LSQ
+    BRANCH = "branch"          # block exit target resolved
+
+
+@dataclass
+class Outcome:
+    """What one node execution produced."""
+
+    kind: OutcomeKind
+    value: TokenValue = None   # VALUE result / branch label
+    addr: int = 0              # LOAD_REQUEST / STORE_UPDATE
+    store_value: int = 0       # STORE_UPDATE
+
+
+class NodeState(enum.Enum):
+    IDLE = "idle"              # waiting for operands (or for a re-fire)
+    EXECUTING = "executing"    # occupying a functional unit
+
+
+class InstructionNode:
+    """One instruction of one in-flight frame."""
+
+    __slots__ = (
+        "frame_uid", "index", "inst", "buffers", "state",
+        "exec_count", "out_wave", "issued_signature", "last_outcome",
+        "last_sent", "final_emitted", "lsq_value", "lsq_value_wave",
+        "exec_useful", "last_lsq",
+    )
+
+    def __init__(self, frame_uid: int, index: int, inst: Instruction,
+                 slot_producers: Dict[Slot, List[ProducerKey]]):
+        self.frame_uid = frame_uid
+        self.index = index
+        self.inst = inst
+        self.buffers: Dict[Slot, TokenBuffer] = {}
+        for slot in inst.required_slots():
+            producers = slot_producers.get(slot)
+            if not producers:
+                raise SimulationError(
+                    f"I{index} slot {slot.name} mapped with no producers")
+            self.buffers[slot] = TokenBuffer(producers)
+        self.state = NodeState.IDLE
+        self.exec_count = 0            # times through a functional unit
+        self.out_wave = 0              # output generation counter
+        self.issued_signature: Optional[IssueSignature] = None
+        self.last_outcome: Optional[Outcome] = None
+        #: (value, final) of the last token batch actually sent, or None.
+        self.last_sent: Optional[Tuple[TokenValue, bool]] = None
+        self.final_emitted = False
+        #: Latest value the LSQ returned for this load (loads only).
+        self.lsq_value: Optional[int] = None
+        self.lsq_value_wave = 0
+        self.exec_useful = 0           # executions that produced non-null
+        #: Last (addr, value, null, final) shipped to the LSQ (dedup).
+        self.last_lsq: Optional[Tuple] = None
+
+    # ------------------------------------------------------------------
+    # Input side
+    # ------------------------------------------------------------------
+
+    def deposit(self, token: Token) -> bool:
+        """Absorb an operand token; True if the node may need (re-)issuing
+        or finalising."""
+        buffer = self.buffers.get(token.dest[2])
+        if buffer is None:
+            raise SimulationError(f"token to unmapped slot: {token}")
+        effective_changed, finality_changed = buffer.deposit(token)
+        return effective_changed or finality_changed
+
+    def all_resolved(self) -> bool:
+        return all(b.resolved for b in self.buffers.values())
+
+    def inputs_final(self) -> bool:
+        return all(b.is_final() for b in self.buffers.values())
+
+    def current_signature(self) -> IssueSignature:
+        parts = []
+        for slot in sorted(self.buffers, key=lambda s: s.value):
+            eff = self.buffers[slot].effective
+            if eff.status is SlotStatus.VALUE:
+                parts.append((slot, (eff.producer, eff.wave)))
+            else:
+                parts.append((slot, None))
+        return tuple(parts)
+
+    # ------------------------------------------------------------------
+    # Fire rule
+    # ------------------------------------------------------------------
+
+    def can_issue(self) -> bool:
+        if self.state is not NodeState.IDLE:
+            return False
+        if not self.all_resolved():
+            return False
+        return self.exec_count == 0 \
+            or self.current_signature() != self.issued_signature
+
+    def begin_execution(self) -> None:
+        if not self.can_issue():
+            raise SimulationError(f"I{self.index} issued while not ready")
+        self.state = NodeState.EXECUTING
+        self.issued_signature = self.current_signature()
+        self.exec_count += 1
+
+    def complete_execution(self) -> Outcome:
+        """Finish the FU pass and compute the outcome from the issued inputs.
+
+        The outcome is computed from the *current* buffer contents of the
+        issued signature's producers; since waves are per-producer monotonic
+        and signatures pin (producer, wave), the values cannot have mutated
+        underneath us without changing the signature (in which case the
+        processor immediately re-issues).
+        """
+        if self.state is not NodeState.EXECUTING:
+            raise SimulationError(f"I{self.index} completed while not executing")
+        self.state = NodeState.IDLE
+        outcome = self._compute_outcome()
+        self.last_outcome = outcome
+        if outcome.kind is not OutcomeKind.NULL:
+            self.exec_useful += 1
+        return outcome
+
+    def needs_reissue(self) -> bool:
+        """Did the inputs change while the node was executing?"""
+        return self.can_issue()
+
+    def _effective(self, slot: Slot) -> Effective:
+        return self.buffers[slot].effective
+
+    def _value(self, slot: Slot) -> int:
+        eff = self._effective(slot)
+        return eff.value if eff.status is SlotStatus.VALUE else 0
+
+    def _compute_outcome(self) -> Outcome:
+        inst = self.inst
+        for slot in self.buffers:
+            if self._effective(slot).status is SlotStatus.ALL_NULL:
+                return Outcome(OutcomeKind.NULL)
+        if inst.pred is not None:
+            if is_true(self._value(Slot.PRED)) != inst.pred:
+                return Outcome(OutcomeKind.NULL)
+        if inst.is_branch:
+            return Outcome(OutcomeKind.BRANCH, value=inst.branch_target)
+        if inst.is_load:
+            addr = effective_address(self._value(Slot.OP0), inst.imm or 0)
+            return Outcome(OutcomeKind.LOAD_REQUEST, addr=addr)
+        if inst.is_store:
+            addr = effective_address(self._value(Slot.OP0), inst.imm or 0)
+            return Outcome(OutcomeKind.STORE_UPDATE, addr=addr,
+                           store_value=self._value(Slot.OP1))
+        if inst.opcode is Opcode.MOVI:
+            return Outcome(OutcomeKind.VALUE, value=to_unsigned(inst.imm))
+        op0 = self._value(Slot.OP0)
+        if inst.imm is not None:
+            op1 = to_unsigned(inst.imm)
+        elif Slot.OP1 in self.buffers:
+            op1 = self._value(Slot.OP1)
+        else:
+            op1 = 0
+        return Outcome(OutcomeKind.VALUE,
+                       value=evaluate_alu(inst.opcode, op0, op1))
+
+    # ------------------------------------------------------------------
+    # Output side: suppression + commit rules
+    # ------------------------------------------------------------------
+
+    def plan_emission(self, value: TokenValue,
+                      final: bool) -> Optional[Tuple[int, TokenValue, bool]]:
+        """Apply the suppression rule.
+
+        Returns ``(wave, value, final)`` for the token batch to send, or
+        ``None`` when nothing new would reach consumers.  A changed value
+        gets a fresh wave; a pure finality upgrade reuses the last wave.
+        """
+        if self.final_emitted:
+            return None
+        if self.last_sent is not None and self.last_sent[0] == value:
+            if self.last_sent[1] or not final:
+                return None
+            self.last_sent = (value, True)
+            self.final_emitted = True
+            return (self.out_wave, value, True)
+        self.out_wave += 1
+        self.last_sent = (value, final)
+        if final:
+            self.final_emitted = True
+        return (self.out_wave, value, final)
+
+    def output_final_ready(self) -> bool:
+        """Commit rule for non-load nodes (loads go through LSQ confirm)."""
+        return (self.state is NodeState.IDLE
+                and self.exec_count > 0
+                and self.inputs_final()
+                and self.issued_signature == self.current_signature())
+
+    def addr_inputs_final(self) -> bool:
+        """For memory nodes: the address (OP0) and predicate are final.
+
+        A store whose *address* is final can already be disambiguated
+        against loads even while its data is still speculative — the LSQ
+        uses this to confirm non-overlapping loads without waiting for the
+        store's data chain to commit.
+        """
+        if self.state is not NodeState.IDLE or self.exec_count == 0:
+            return False
+        if self.issued_signature != self.current_signature():
+            return False
+        for slot in (Slot.OP0, Slot.PRED):
+            buffer = self.buffers.get(slot)
+            if buffer is not None and not buffer.is_final():
+                return False
+        return True

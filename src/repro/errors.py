@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IsaError(ReproError):
+    """An ISA-level constraint was violated (bad instruction, block, program)."""
+
+
+class BlockValidationError(IsaError):
+    """A block violates the EDGE block constraints (size, LSIDs, wiring)."""
+
+
+class AssemblerError(IsaError):
+    """The textual assembler rejected its input.
+
+    Carries the 1-based source line number when available.
+    """
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(IsaError):
+    """Binary encoding or decoding of a program failed."""
+
+
+class ExecutionError(ReproError):
+    """The functional interpreter hit an illegal architectural situation."""
+
+
+class SimulationError(ReproError):
+    """The timing simulator reached an inconsistent or deadlocked state."""
+
+
+class GoldenMismatchError(SimulationError):
+    """The timing simulator's committed state diverged from the golden model."""
+
+
+class CompileError(ReproError):
+    """The kernel-language compiler rejected its input.
+
+    Carries the 1-based source line number when available.
+    """
+
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ConfigError(ReproError):
+    """A machine or experiment configuration is inconsistent."""

@@ -1,0 +1,16 @@
+"""Experiment harness: standard machine points, runners, and the
+table/figure regeneration functions T1, T2, E1..E8."""
+
+from .experiments import (EXPERIMENTS, e1_main, e2_window, e3_recovery_cost,
+                          e4_policies, e5_network, e6_commit_wave,
+                          e7_conflict_sweep, e8_storeset_ablation, table_t1,
+                          table_t2)
+from .runner import (POINT_ORDER, STANDARD_POINTS, golden_of, run_point,
+                     run_points)
+
+__all__ = [
+    "EXPERIMENTS", "POINT_ORDER", "STANDARD_POINTS", "e1_main", "e2_window",
+    "e3_recovery_cost", "e4_policies", "e5_network", "e6_commit_wave",
+    "e7_conflict_sweep", "e8_storeset_ablation", "golden_of", "run_point",
+    "run_points", "table_t1", "table_t2",
+]

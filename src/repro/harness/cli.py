@@ -1,0 +1,61 @@
+"""Command-line entry point: regenerate any experiment table.
+
+Usage::
+
+    python -m repro.harness.cli t1 e1 --full
+    python -m repro.harness.cli all            # every table, fast scales
+    python -m repro.harness.cli list
+
+``--full`` uses the default evaluation scales (minutes); without it the
+fast test scales run in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from .experiments import EXPERIMENTS, table_t1
+
+
+def _run_one(name: str, fast: bool) -> str:
+    func = EXPERIMENTS[name]
+    if func is table_t1:
+        return table_t1().render()
+    return func(fast=fast).render()
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description="Regenerate evaluation tables for the DSRE reproduction")
+    parser.add_argument("experiments", nargs="+",
+                        help="experiment ids (t1 t2 e1..e8), or 'all'/'list'")
+    parser.add_argument("--full", action="store_true",
+                        help="use full evaluation scales (slow)")
+    args = parser.parse_args(argv)
+
+    wanted = args.experiments
+    if wanted == ["list"]:
+        for key, func in EXPERIMENTS.items():
+            doc = (func.__doc__ or "").strip().splitlines()[0]
+            print(f"{key:4s} {doc}")
+        return 0
+    if wanted == ["all"]:
+        wanted = list(EXPERIMENTS)
+
+    for name in wanted:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try 'list'",
+                  file=sys.stderr)
+            return 2
+        start = time.time()
+        print(_run_one(name, fast=not args.full))
+        print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,340 @@
+"""The per-experiment regeneration functions (T1, T2, E1..E8).
+
+Each function rebuilds one table/figure of the reconstructed evaluation
+(see DESIGN.md for the experiment index) and returns a
+:class:`~repro.stats.report.Table` whose ``data`` attribute carries the raw
+numbers.  ``fast=True`` uses the kernels' small test scales (seconds);
+``fast=False`` uses the default evaluation scales (minutes) and is what
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..stats.report import Table, geomean
+from ..uarch.config import default_config
+from ..workloads.common import KernelInstance
+from ..workloads.registry import KERNELS
+from ..workloads.synth import SynthParams, build_synthetic
+from .runner import POINT_ORDER, golden_of, run_point, run_points
+
+#: Kernels with frequent true dependences (used by the recovery studies).
+CONFLICT_KERNELS = ["stencil", "fibmem", "memaccum", "memmove", "bubble",
+                    "histogram"]
+
+#: A small representative mix for sweeps (one per category).
+SWEEP_KERNELS = ["vecsum", "listsum", "histogram", "stencil"]
+
+
+def _instances(names: Iterable[str], fast: bool) -> List[KernelInstance]:
+    out = []
+    for name in names:
+        spec = KERNELS[name]
+        out.append(spec.build_test() if fast else spec.build_default())
+    return out
+
+
+# ----------------------------------------------------------------------
+# T1 / T2: configuration and workload characterisation
+# ----------------------------------------------------------------------
+
+def table_t1(config=None) -> Table:
+    """T1 — the simulated machine configuration."""
+    config = config or default_config()
+    table = Table("T1. Machine configuration", ["Parameter", "Value"])
+    for key, value in config.t1_rows():
+        table.add_row(key, value)
+    return table
+
+
+def table_t2(fast: bool = True) -> Table:
+    """T2 — workload characterisation from the golden model."""
+    table = Table(
+        "T2. Workload characterisation (functional run)",
+        ["kernel", "category", "blocks", "insts", "loads", "stores",
+         "dep<=8 (%)", "dep<=32 (%)"])
+    for spec in KERNELS.values():
+        inst = spec.build_test() if fast else spec.build_default()
+        trace = golden_of(inst)
+        hist = trace.dependence_distance_histogram()
+        loads = trace.dynamic_loads
+        near8 = sum(v for d, v in hist.items() if 1 <= d <= 8)
+        near32 = sum(v for d, v in hist.items() if 1 <= d <= 32)
+        table.add_row(spec.name, spec.category, trace.block_count,
+                      trace.dynamic_instructions, loads,
+                      trace.dynamic_stores,
+                      100.0 * near8 / loads if loads else 0.0,
+                      100.0 * near32 / loads if loads else 0.0)
+        table.data[spec.name] = hist
+    return table
+
+
+# ----------------------------------------------------------------------
+# E1: the main result
+# ----------------------------------------------------------------------
+
+def e1_main(fast: bool = True,
+            kernels: Optional[Sequence[str]] = None) -> Table:
+    """E1 — speedup of every machine point over conservative (per kernel +
+    geomean); the paper's anchors are DSRE vs. storeset (+17% there) and
+    DSRE as a fraction of oracle (82% there)."""
+    names = list(kernels or KERNELS)
+    table = Table("E1. Speedup over conservative (higher is better)",
+                  ["kernel"] + POINT_ORDER)
+    speedups: Dict[str, List[float]] = {p: [] for p in POINT_ORDER}
+    for inst in _instances(names, fast):
+        results = run_points(inst)
+        base = results["conservative"].stats.cycles
+        row = [inst.name]
+        for point in POINT_ORDER:
+            s = base / results[point].stats.cycles
+            speedups[point].append(s)
+            row.append(s)
+        table.add_row(*row)
+    geo = {p: geomean(v) for p, v in speedups.items()}
+    table.add_row("geomean", *[geo[p] for p in POINT_ORDER])
+    table.data = {
+        "speedups": speedups,
+        "geomean": geo,
+        "dsre_over_storeset": geo["dsre"] / geo["storeset"] - 1.0,
+        "dsre_fraction_of_oracle": geo["dsre"] / geo["oracle"],
+    }
+    return table
+
+
+# ----------------------------------------------------------------------
+# E2: window-size scaling
+# ----------------------------------------------------------------------
+
+def e2_window(fast: bool = True,
+              frames: Sequence[int] = (1, 2, 4, 8, 16, 32),
+              kernels: Sequence[str] = tuple(SWEEP_KERNELS)) -> Table:
+    """E2 — IPC of flush vs DSRE recovery as the window grows.
+
+    The paper's scalability claim: selective re-execution keeps improving
+    with window size while flush recovery flattens (each flush throws away
+    an ever-larger window)."""
+    table = Table("E2. IPC vs in-flight frames (window scaling)",
+                  ["kernel", "mechanism"] + [f"{f}f" for f in frames])
+    table.data = {"frames": list(frames), "ipc": {}}
+    for inst in _instances(kernels, fast):
+        for point in ("storeset", "dsre"):
+            row = [inst.name, point]
+            series = []
+            for f in frames:
+                result = run_point(inst, point, max_frames=f)
+                series.append(result.stats.ipc)
+                row.append(result.stats.ipc)
+            table.add_row(*row)
+            table.data["ipc"][(inst.name, point)] = series
+    return table
+
+
+# ----------------------------------------------------------------------
+# E3: recovery cost
+# ----------------------------------------------------------------------
+
+def e3_recovery_cost(fast: bool = True,
+                     kernels: Sequence[str] = tuple(CONFLICT_KERNELS)
+                     ) -> Table:
+    """E3 — what one mis-speculation costs under each mechanism:
+    instructions squashed per violation (flush) vs instructions re-executed
+    per re-delivery (DSRE)."""
+    table = Table(
+        "E3. Recovery cost per mis-speculation",
+        ["kernel", "violations", "squashed/violation",
+         "redeliveries", "reexec/redelivery"])
+    table.data = {}
+    for inst in _instances(kernels, fast):
+        flush = run_point(inst, "aggressive").stats
+        dsre = run_point(inst, "dsre").stats
+        spv = (flush.squashed_executions / flush.violation_flushes
+               if flush.violation_flushes else 0.0)
+        rpr = (dsre.reexecutions / dsre.load_redeliveries
+               if dsre.load_redeliveries else 0.0)
+        table.add_row(inst.name, flush.violation_flushes, spv,
+                      dsre.load_redeliveries, rpr)
+        table.data[inst.name] = {
+            "violations": flush.violation_flushes,
+            "squashed_per_violation": spv,
+            "redeliveries": dsre.load_redeliveries,
+            "reexec_per_redelivery": rpr,
+        }
+    return table
+
+
+# ----------------------------------------------------------------------
+# E4: dependence-policy comparison (including cross products)
+# ----------------------------------------------------------------------
+
+def e4_policies(fast: bool = True,
+                kernels: Optional[Sequence[str]] = None) -> Table:
+    """E4 — IPC of every (policy, recovery) combination, including the
+    hybrid store-set + DSRE point the standard five-point study omits."""
+    combos = [
+        ("conservative", "flush"), ("aggressive", "flush"),
+        ("storeset", "flush"), ("oracle", "flush"),
+        ("aggressive", "dsre"), ("storeset", "dsre"),
+    ]
+    names = list(kernels or CONFLICT_KERNELS)
+    headers = ["kernel"] + [f"{p[:4]}/{r[:2]}" for p, r in combos]
+    table = Table("E4. IPC by (policy, recovery)", headers)
+    table.data = {"combos": combos, "ipc": {}}
+    for inst in _instances(names, fast):
+        golden = golden_of(inst)
+        row = [inst.name]
+        from ..uarch.processor import Processor
+        for policy, recovery in combos:
+            config = default_config(dependence_policy=policy,
+                                    recovery=recovery)
+            proc = Processor(inst.program, config, inst.initial_regs,
+                             golden=golden)
+            result = proc.run()
+            problems = inst.check(proc.arch)
+            if problems:
+                raise AssertionError(f"{inst.name}: {problems}")
+            row.append(result.stats.ipc)
+            table.data["ipc"][(inst.name, policy, recovery)] = \
+                result.stats.ipc
+        table.add_row(*row)
+    return table
+
+
+# ----------------------------------------------------------------------
+# E5: operand-network sensitivity
+# ----------------------------------------------------------------------
+
+def e5_network(fast: bool = True,
+               hop_latencies: Sequence[int] = (1, 2, 4),
+               kernels: Sequence[str] = tuple(SWEEP_KERNELS)) -> Table:
+    """E5 — sensitivity to operand-network hop latency.
+
+    DSRE's waves (and its commit wave) ride the operand network, so it
+    should degrade faster than flush recovery as hops get slower."""
+    table = Table("E5. IPC vs network hop latency",
+                  ["kernel", "mechanism"] + [f"hop={h}" for h in
+                                             hop_latencies])
+    table.data = {"hops": list(hop_latencies), "ipc": {}}
+    for inst in _instances(kernels, fast):
+        for point in ("storeset", "dsre"):
+            row = [inst.name, point]
+            series = []
+            for hop in hop_latencies:
+                result = run_point(inst, point, hop_latency=hop)
+                series.append(result.stats.ipc)
+                row.append(result.stats.ipc)
+            table.add_row(*row)
+            table.data["ipc"][(inst.name, point)] = series
+    return table
+
+
+# ----------------------------------------------------------------------
+# E6: commit-wave overhead
+# ----------------------------------------------------------------------
+
+def e6_commit_wave(fast: bool = True,
+                   kernels: Optional[Sequence[str]] = None) -> Table:
+    """E6 — what the commit wave costs: operand-network messages and FU
+    executions per committed instruction, DSRE vs the store-set baseline."""
+    names = list(kernels or KERNELS)
+    table = Table(
+        "E6. Execution & network overhead per committed instruction",
+        ["kernel", "msgs/inst (ss)", "msgs/inst (dsre)",
+         "final msgs (dsre %)", "exec/inst (ss)", "exec/inst (dsre)"])
+    table.data = {}
+    for inst in _instances(names, fast):
+        ss = run_point(inst, "storeset")
+        ds = run_point(inst, "dsre")
+        ci_ss = max(1, ss.stats.committed_instructions)
+        ci_ds = max(1, ds.stats.committed_instructions)
+        final_pct = (100.0 * ds.network_stats.final_sent
+                     / max(1, ds.network_stats.sent))
+        table.add_row(
+            inst.name,
+            ss.network_stats.sent / ci_ss,
+            ds.network_stats.sent / ci_ds,
+            final_pct,
+            ss.stats.executions / ci_ss,
+            ds.stats.executions / ci_ds)
+        table.data[inst.name] = {
+            "msgs_ss": ss.network_stats.sent / ci_ss,
+            "msgs_dsre": ds.network_stats.sent / ci_ds,
+            "final_pct": final_pct,
+            "exec_ss": ss.stats.executions / ci_ss,
+            "exec_dsre": ds.stats.executions / ci_ds,
+        }
+    return table
+
+
+# ----------------------------------------------------------------------
+# E7: synthetic conflict-rate sweep
+# ----------------------------------------------------------------------
+
+def e7_conflict_sweep(fast: bool = True,
+                      rates: Sequence[float] = (0.0, 0.1, 0.25, 0.5,
+                                                0.75, 1.0),
+                      distance: int = 1) -> Table:
+    """E7 — cycles (normalised to oracle) vs true-dependence rate on the
+    synthetic chain: where does predictor+flush cross DSRE?"""
+    n_blocks = 80 if fast else 300
+    table = Table(
+        "E7. Normalised cycles vs conflict rate (synthetic, lower=better)",
+        ["conflict rate", "aggressive", "storeset", "dsre", "oracle"])
+    table.data = {"rates": list(rates), "norm": {}}
+    for rate in rates:
+        inst = build_synthetic(SynthParams(
+            n_blocks=n_blocks, conflict_rate=rate, distance=distance))
+        results = run_points(
+            inst, points=["aggressive", "storeset", "dsre", "oracle"])
+        oracle = results["oracle"].stats.cycles
+        row = [f"{rate:.2f}"]
+        for point in ("aggressive", "storeset", "dsre", "oracle"):
+            norm = results[point].stats.cycles / oracle
+            table.data["norm"].setdefault(point, []).append(norm)
+            row.append(norm)
+        table.add_row(*row)
+    return table
+
+
+# ----------------------------------------------------------------------
+# E8: store-set table-size ablation
+# ----------------------------------------------------------------------
+
+def e8_storeset_ablation(fast: bool = True,
+                         sizes: Sequence[int] = (16, 64, 256, 1024),
+                         kernels: Sequence[str] = ("histogram", "bubble",
+                                                   "stencil", "hashins")
+                         ) -> Table:
+    """E8 — predictor capacity vs recovery mechanism: IPC of storeset+flush
+    across SSIT sizes, with DSRE (no predictor) as the reference line."""
+    table = Table("E8. IPC vs SSIT size (DSRE shown for reference)",
+                  ["kernel"] + [f"ssit={s}" for s in sizes] + ["dsre"])
+    table.data = {"sizes": list(sizes), "ipc": {}}
+    for inst in _instances(kernels, fast):
+        row = [inst.name]
+        series = []
+        for size in sizes:
+            result = run_point(inst, "storeset", storeset_ssit_size=size)
+            series.append(result.stats.ipc)
+            row.append(result.stats.ipc)
+        dsre = run_point(inst, "dsre").stats.ipc
+        row.append(dsre)
+        table.add_row(*row)
+        table.data["ipc"][inst.name] = {"storeset": series, "dsre": dsre}
+    return table
+
+
+#: Every regenerable artifact, keyed by its DESIGN.md experiment id.
+EXPERIMENTS = {
+    "t1": table_t1,
+    "t2": table_t2,
+    "e1": e1_main,
+    "e2": e2_window,
+    "e3": e3_recovery_cost,
+    "e4": e4_policies,
+    "e5": e5_network,
+    "e6": e6_commit_wave,
+    "e7": e7_conflict_sweep,
+    "e8": e8_storeset_ablation,
+}

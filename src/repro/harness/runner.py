@@ -1,0 +1,89 @@
+"""Single-run and multi-policy drivers.
+
+The runner caches golden traces per kernel instance so a five-policy
+comparison pays for one functional execution, and exposes the *standard
+machine points* of the evaluation:
+
+* ``conservative`` — loads wait for all older stores (flush recovery)
+* ``aggressive``   — always speculate, flush recovery
+* ``storeset``     — store-set predictor, flush recovery (the paper's best
+  conventional baseline)
+* ``dsre``         — always speculate, DSRE recovery (the paper's protocol)
+* ``oracle``       — perfect load-issue oracle, flush recovery (upper bound)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..arch.interp import run_program
+from ..arch.trace import ExecutionTrace
+from ..uarch.config import MachineConfig, default_config
+from ..uarch.processor import Processor, SimResult
+from ..workloads.common import KernelInstance
+
+#: name -> (dependence_policy, recovery)
+STANDARD_POINTS: Dict[str, Tuple[str, str]] = {
+    "conservative": ("conservative", "flush"),
+    "aggressive": ("aggressive", "flush"),
+    "storeset": ("storeset", "flush"),
+    "dsre": ("aggressive", "dsre"),
+    "oracle": ("oracle", "flush"),
+}
+
+#: Display order for tables.
+POINT_ORDER = ["conservative", "aggressive", "storeset", "dsre", "oracle"]
+
+
+@dataclass
+class KernelRun:
+    """One (kernel, machine point) timing result."""
+
+    kernel: str
+    point: str
+    result: SimResult
+
+    @property
+    def cycles(self) -> int:
+        return self.result.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.result.stats.ipc
+
+
+def golden_of(instance: KernelInstance) -> ExecutionTrace:
+    """Run (and memoise on the instance) the functional golden trace."""
+    cached = getattr(instance, "_golden_cache", None)
+    if cached is None:
+        cached, _ = run_program(instance.program, instance.initial_regs)
+        instance._golden_cache = cached
+    return cached
+
+
+def run_point(instance: KernelInstance, point: str,
+              base: Optional[MachineConfig] = None,
+              **overrides) -> SimResult:
+    """Run one kernel at one named machine point."""
+    policy, recovery = STANDARD_POINTS[point]
+    config = (base or default_config()).derive(
+        dependence_policy=policy, recovery=recovery, **overrides)
+    golden = golden_of(instance)
+    processor = Processor(instance.program, config, instance.initial_regs,
+                          golden=golden)
+    result = processor.run()
+    problems = instance.check(processor.arch)
+    if problems:
+        raise AssertionError(
+            f"{instance.name} @ {point}: wrong final state: {problems}")
+    return result
+
+
+def run_points(instance: KernelInstance,
+               points: Optional[Iterable[str]] = None,
+               base: Optional[MachineConfig] = None,
+               **overrides) -> Dict[str, SimResult]:
+    """Run one kernel at several machine points (golden trace shared)."""
+    return {point: run_point(instance, point, base, **overrides)
+            for point in (points or POINT_ORDER)}

@@ -1,0 +1,27 @@
+"""EDGE-style block-atomic ISA: instructions, blocks, programs, builders.
+
+Public surface:
+
+* :class:`~repro.isa.opcodes.Opcode`, :class:`~repro.isa.opcodes.OpClass`
+* :class:`~repro.isa.instruction.Instruction`,
+  :class:`~repro.isa.instruction.Target`, :class:`~repro.isa.instruction.Slot`
+* :class:`~repro.isa.block.Block`, :class:`~repro.isa.program.Program`
+* :class:`~repro.isa.builder.ProgramBuilder` — the main authoring API
+* :func:`~repro.isa.assembler.assemble` — the textual assembler
+"""
+
+from .assembler import assemble
+from .block import Block, ReadSlot, WriteSlot
+from .builder import BlockBuilder, ProgramBuilder, Wire
+from .encoding import decode, encode
+from .instruction import Instruction, Slot, Target, TargetKind
+from .limits import DEFAULT_LIMITS, NUM_REGS, BlockLimits
+from .opcodes import OpClass, Opcode, op_info
+from .program import DataSegment, HALT_LABEL, Program
+
+__all__ = [
+    "Block", "BlockBuilder", "BlockLimits", "DataSegment", "DEFAULT_LIMITS",
+    "HALT_LABEL", "Instruction", "NUM_REGS", "OpClass", "Opcode", "Program",
+    "ProgramBuilder", "ReadSlot", "Slot", "Target", "TargetKind", "Wire",
+    "WriteSlot", "assemble", "decode", "encode", "op_info",
+]

@@ -1,0 +1,280 @@
+"""Textual assembler for the EDGE-style ISA.
+
+Format (one instruction per line; ``;`` starts a comment)::
+
+    .entry main
+    .data table 0x1000
+        .word 1 2 3
+        .byte 0xAB 0xCD
+    .block main
+        %i   = read r1
+        %one = movi 1
+        %j   = add %i %one
+        %k   = shl %i #3            ; '#' marks an immediate operand
+        %v   = load %k [lsid=0 width=4 off=8]
+        store %k %v [lsid=1]
+        %p   = tlt %j #100
+        %x   = mov %j @t(%p)        ; predicated on %p true
+        %y   = select %p %x %one    ; sugar for a predicated MOV pair
+        write r1 %j
+        bro loop @t(%p)
+        bro @halt @f(%p)
+
+Values are SSA-named with ``%name``; ``read``/``write`` connect the block
+to architectural registers; memory attributes go in ``[...]``; predication
+is an ``@t(%p)``/``@f(%p)`` suffix on any instruction.  The assembler is a
+thin layer over :class:`~repro.isa.builder.BlockBuilder`, so everything it
+produces is validated the same way builder programs are.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AssemblerError
+from .builder import BlockBuilder, ProgramBuilder, Wire
+from .opcodes import Opcode
+from .program import Program
+
+_OP_ALIASES = {
+    "and": "and_", "or": "or_", "not": "not_",
+}
+
+#: Opcodes expressible as plain ``%x = op ...`` lines.
+_VALUE_OPS = {
+    op.value: op for op in Opcode
+    if op not in (Opcode.LOAD, Opcode.STORE, Opcode.BRO)
+}
+
+_PRED_RE = re.compile(r"@([tf])\(\s*(%[A-Za-z_]\w*)\s*\)")
+_ATTR_RE = re.compile(r"\[([^\]]*)\]")
+_DEF_RE = re.compile(r"^(%[A-Za-z_]\w*)\s*=\s*(.*)$")
+_REG_RE = re.compile(r"^[rR](\d+)$")
+
+
+def assemble(source: str) -> Program:
+    """Assemble ``source`` into a validated :class:`Program`."""
+    return _Assembler(source).run()
+
+
+class _Assembler:
+    def __init__(self, source: str):
+        self.lines = source.splitlines()
+        self.entry: Optional[str] = None
+        self.pb: Optional[ProgramBuilder] = None
+        self.block: Optional[BlockBuilder] = None
+        self.names: Dict[str, Wire] = {}
+        self.data_name: Optional[str] = None
+        self.data_base = 0
+        self.data_bytes = bytearray()
+        self.line_no = 0
+
+    def error(self, message: str) -> AssemblerError:
+        return AssemblerError(message, self.line_no)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> Program:
+        for self.line_no, raw in enumerate(self.lines, start=1):
+            line = raw.split(";", 1)[0].strip()
+            if not line:
+                continue
+            if line.startswith("."):
+                self._directive(line)
+            else:
+                self._instruction(line)
+        self._flush_data()
+        if self.pb is None or self.entry is None:
+            raise AssemblerError("no .entry directive")
+        return self.pb.build()
+
+    # ------------------------------------------------------------------
+    # Directives
+    # ------------------------------------------------------------------
+
+    def _directive(self, line: str) -> None:
+        parts = line.split()
+        head = parts[0]
+        if head == ".entry":
+            if len(parts) != 2:
+                raise self.error(".entry takes one block name")
+            if self.entry is not None:
+                raise self.error("duplicate .entry")
+            self.entry = parts[1]
+            self.pb = ProgramBuilder(entry=self.entry)
+        elif head == ".block":
+            self._require_program()
+            if len(parts) != 2:
+                raise self.error(".block takes one name")
+            self._flush_data()
+            self.block = self.pb.block(parts[1])
+            self.names = {}
+        elif head == ".data":
+            self._require_program()
+            if len(parts) != 3:
+                raise self.error(".data takes a name and a base address")
+            self._flush_data()
+            self.block = None
+            self.data_name = parts[1]
+            self.data_base = self._int(parts[2])
+            self.data_bytes = bytearray()
+        elif head == ".word":
+            self._require_data()
+            for token in parts[1:]:
+                value = self._int(token) & ((1 << 64) - 1)
+                self.data_bytes.extend(value.to_bytes(8, "little"))
+        elif head == ".byte":
+            self._require_data()
+            for token in parts[1:]:
+                value = self._int(token)
+                if not 0 <= value <= 0xFF:
+                    raise self.error(f"byte out of range: {token}")
+                self.data_bytes.append(value)
+        else:
+            raise self.error(f"unknown directive {head}")
+
+    def _require_program(self) -> None:
+        if self.pb is None:
+            raise self.error(".entry must come first")
+
+    def _require_data(self) -> None:
+        if self.data_name is None:
+            raise self.error(".word/.byte outside a .data section")
+
+    def _flush_data(self) -> None:
+        if self.data_name is not None:
+            self.pb.data_bytes(self.data_name, self.data_base,
+                               bytes(self.data_bytes))
+            self.data_name = None
+
+    # ------------------------------------------------------------------
+    # Instructions
+    # ------------------------------------------------------------------
+
+    def _instruction(self, line: str) -> None:
+        if self.block is None:
+            raise self.error("instruction outside a .block")
+        pred = self._take_pred(line)
+        line = _PRED_RE.sub("", line).strip()
+        attrs, line = self._take_attrs(line)
+
+        match = _DEF_RE.match(line)
+        if match:
+            name, rest = match.group(1), match.group(2).strip()
+            wire = self._value_producer(rest, attrs, pred)
+            if name in self.names:
+                raise self.error(f"redefinition of {name}")
+            self.names[name] = wire
+            return
+
+        parts = line.split()
+        mnemonic = parts[0].lower()
+        if mnemonic == "write":
+            if len(parts) != 3:
+                raise self.error("write takes a register and a value")
+            self.block.write(self._reg(parts[1]), self._wire(parts[2]))
+        elif mnemonic == "store":
+            if len(parts) != 3:
+                raise self.error("store takes an address and a value")
+            self.block.store(self._wire(parts[1]), self._wire(parts[2]),
+                             offset=attrs.get("off", 0),
+                             width=attrs.get("width", 8),
+                             lsid=attrs.get("lsid"), pred=pred)
+        elif mnemonic == "bro":
+            if len(parts) != 2:
+                raise self.error("bro takes one target label")
+            self.block.branch(parts[1], pred=pred)
+        else:
+            raise self.error(
+                f"unknown statement {mnemonic!r} (missing '%x =' ?)")
+
+    def _value_producer(self, rest: str, attrs: Dict[str, int],
+                        pred) -> Wire:
+        parts = rest.split()
+        mnemonic = parts[0].lower()
+        operands = parts[1:]
+        if mnemonic == "read":
+            if len(operands) != 1:
+                raise self.error("read takes one register")
+            if pred is not None:
+                raise self.error("read cannot be predicated")
+            return self.block.read(self._reg(operands[0]))
+        if mnemonic == "load":
+            if len(operands) != 1:
+                raise self.error("load takes one address operand")
+            return self.block.load(self._wire(operands[0]),
+                                   offset=attrs.get("off", 0),
+                                   width=attrs.get("width", 8),
+                                   lsid=attrs.get("lsid"), pred=pred)
+        if mnemonic == "select":
+            if len(operands) != 3:
+                raise self.error("select takes %pred %iftrue %iffalse")
+            if pred is not None:
+                raise self.error("select cannot itself be predicated")
+            return self.block.select(*[self._wire(o) for o in operands])
+        if mnemonic == "movi":
+            if len(operands) != 1:
+                raise self.error("movi takes one immediate")
+            return self.block.op(Opcode.MOVI,
+                                 imm=self._int(operands[0].lstrip("#")),
+                                 pred=pred)
+        opcode = _VALUE_OPS.get(mnemonic)
+        if opcode is None:
+            raise self.error(f"unknown opcode {mnemonic!r}")
+        wires = []
+        imm = None
+        for operand in operands:
+            if operand.startswith("#"):
+                if imm is not None:
+                    raise self.error("at most one immediate operand")
+                imm = self._int(operand[1:])
+            else:
+                wires.append(self._wire(operand))
+        return self.block.op(opcode, *wires, imm=imm, pred=pred)
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    def _take_pred(self, line: str):
+        match = _PRED_RE.search(line)
+        if not match:
+            return None
+        sense = match.group(1) == "t"
+        return (self._wire(match.group(2)), sense)
+
+    def _take_attrs(self, line: str) -> Tuple[Dict[str, int], str]:
+        match = _ATTR_RE.search(line)
+        if not match:
+            return {}, line
+        attrs: Dict[str, int] = {}
+        body = match.group(1).replace(",", " ")
+        for item in body.split():
+            if "=" not in item:
+                raise self.error(f"bad attribute {item!r}")
+            key, _, value = item.partition("=")
+            if key not in ("lsid", "width", "off"):
+                raise self.error(f"unknown attribute {key!r}")
+            attrs[key] = self._int(value)
+        return attrs, _ATTR_RE.sub("", line).strip()
+
+    def _wire(self, token: str) -> Wire:
+        if not token.startswith("%"):
+            raise self.error(f"expected a %value, got {token!r}")
+        wire = self.names.get(token)
+        if wire is None:
+            raise self.error(f"undefined value {token}")
+        return wire
+
+    def _reg(self, token: str) -> int:
+        match = _REG_RE.match(token)
+        if not match:
+            raise self.error(f"expected a register (rN), got {token!r}")
+        return int(match.group(1))
+
+    def _int(self, token: str) -> int:
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise self.error(f"bad integer {token!r}") from None

@@ -1,0 +1,35 @@
+"""Architectural limits of the EDGE-style ISA.
+
+The defaults mirror TRIPS-generation EDGE parameters: 128-instruction
+blocks, 32 register reads and writes per block, 32 memory operations per
+block (LSIDs 0..31) and 64 architectural registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Number of architectural (block-boundary) registers, R0..R63.
+NUM_REGS = 64
+
+#: Legal memory access widths in bytes.
+LEGAL_WIDTHS = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class BlockLimits:
+    """Per-block structural limits enforced by :meth:`Block.validate`."""
+
+    max_instructions: int = 128
+    max_reads: int = 32
+    max_writes: int = 32
+    max_memory_ops: int = 32
+
+    def check(self) -> None:
+        if min(self.max_instructions, self.max_reads,
+               self.max_writes, self.max_memory_ops) <= 0:
+            raise ValueError("block limits must be positive")
+
+
+#: The default limits used everywhere unless a caller overrides them.
+DEFAULT_LIMITS = BlockLimits()

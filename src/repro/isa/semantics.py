@@ -1,0 +1,87 @@
+"""Shared ALU semantics.
+
+Both the functional golden model and the timing simulator evaluate opcodes
+through :func:`evaluate_alu`, guaranteeing that the two can never disagree on
+what an instruction computes — only on *when* it computes it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .opcodes import Opcode
+from .values import WORD_MASK, bool_value, sign_extend, to_signed, wrap
+
+
+def _div(a: int, b: int) -> int:
+    """Signed division truncating toward zero; x/0 is defined as 0."""
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return 0
+    q = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        q = -q
+    return wrap(q)
+
+
+def _mod(a: int, b: int) -> int:
+    """Signed remainder matching :func:`_div` (sign of the dividend); x%0 is 0."""
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return 0
+    r = abs(sa) % abs(sb)
+    if sa < 0:
+        r = -r
+    return wrap(r)
+
+
+_BINARY: Dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADD: lambda a, b: wrap(a + b),
+    Opcode.SUB: lambda a, b: wrap(a - b),
+    Opcode.MUL: lambda a, b: wrap(a * b),
+    Opcode.DIV: _div,
+    Opcode.MOD: _mod,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: wrap(a << (b & 63)),
+    Opcode.SHR: lambda a, b: (a & WORD_MASK) >> (b & 63),
+    Opcode.SRA: lambda a, b: wrap(to_signed(a) >> (b & 63)),
+    Opcode.TEQ: lambda a, b: bool_value(a == b),
+    Opcode.TNE: lambda a, b: bool_value(a != b),
+    Opcode.TLT: lambda a, b: bool_value(to_signed(a) < to_signed(b)),
+    Opcode.TLE: lambda a, b: bool_value(to_signed(a) <= to_signed(b)),
+    Opcode.TGT: lambda a, b: bool_value(to_signed(a) > to_signed(b)),
+    Opcode.TGE: lambda a, b: bool_value(to_signed(a) >= to_signed(b)),
+    Opcode.TLTU: lambda a, b: bool_value(a < b),
+    Opcode.TGEU: lambda a, b: bool_value(a >= b),
+}
+
+_UNARY: Dict[Opcode, Callable[[int], int]] = {
+    Opcode.NOT: lambda a: wrap(~a),
+    Opcode.NEG: lambda a: wrap(-a),
+    Opcode.MOV: lambda a: a & WORD_MASK,
+    Opcode.SXT1: lambda a: sign_extend(a, 1),
+    Opcode.SXT2: lambda a: sign_extend(a, 2),
+    Opcode.SXT4: lambda a: sign_extend(a, 4),
+}
+
+
+def evaluate_alu(opcode: Opcode, op0: int = 0, op1: int = 0) -> int:
+    """Evaluate a non-memory, non-branch opcode on carrier values.
+
+    ``MOVI`` is handled by the caller (the immediate *is* the result); this
+    function covers every unary/binary compute opcode.
+    """
+    fn2 = _BINARY.get(opcode)
+    if fn2 is not None:
+        return fn2(op0 & WORD_MASK, op1 & WORD_MASK)
+    fn1 = _UNARY.get(opcode)
+    if fn1 is not None:
+        return fn1(op0 & WORD_MASK)
+    raise KeyError(f"evaluate_alu cannot evaluate {opcode}")
+
+
+def effective_address(base: int, displacement: int) -> int:
+    """Compute a memory operation's effective address (base + signed disp)."""
+    return wrap(base + displacement)

@@ -1,0 +1,58 @@
+"""64-bit value helpers.
+
+The EDGE machine modelled here operates on 64-bit two's-complement words.
+Values travel through the library as Python ints in ``[0, 2**64)``; these
+helpers convert between the unsigned carrier representation and signed
+interpretation, and implement the wrap-around arithmetic the functional and
+timing models share.
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 64
+WORD_MASK = (1 << WORD_BITS) - 1
+SIGN_BIT = 1 << (WORD_BITS - 1)
+
+
+def wrap(value: int) -> int:
+    """Reduce an arbitrary Python int to the 64-bit unsigned carrier range."""
+    return value & WORD_MASK
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit carrier value as a signed two's-complement int."""
+    value &= WORD_MASK
+    if value & SIGN_BIT:
+        return value - (1 << WORD_BITS)
+    return value
+
+
+def to_unsigned(value: int) -> int:
+    """Convert a (possibly negative) Python int into the carrier range."""
+    return value & WORD_MASK
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate a carrier value to ``width`` bytes (zero-extended)."""
+    if width == 8:
+        return value & WORD_MASK
+    return value & ((1 << (8 * width)) - 1)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend a ``width``-byte value into the 64-bit carrier range."""
+    bits = 8 * width
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value & WORD_MASK
+
+
+def bool_value(flag: bool) -> int:
+    """The carrier encoding of a predicate/compare result."""
+    return 1 if flag else 0
+
+
+def is_true(value: int) -> bool:
+    """Predicate truth test: any non-zero carrier value is true."""
+    return (value & WORD_MASK) != 0

@@ -1,0 +1,33 @@
+"""Load-store dependence speculation policies."""
+
+from typing import Optional
+
+from ..arch.trace import ExecutionTrace
+from ..errors import ConfigError
+from .oracle import OraclePolicy
+from .policy import (AggressivePolicy, ConservativePolicy, DependencePolicy,
+                     LoadQuery, StaticMemId, StoreView)
+from .storeset import StoreSetPolicy
+
+__all__ = [
+    "AggressivePolicy", "ConservativePolicy", "DependencePolicy",
+    "LoadQuery", "OraclePolicy", "StaticMemId", "StoreSetPolicy",
+    "StoreView", "build_policy",
+]
+
+
+def build_policy(config, trace: Optional[ExecutionTrace] = None
+                 ) -> DependencePolicy:
+    """Instantiate the policy named by ``config.dependence_policy``."""
+    name = config.dependence_policy
+    if name == "conservative":
+        return ConservativePolicy()
+    if name == "aggressive":
+        return AggressivePolicy()
+    if name == "storeset":
+        return StoreSetPolicy(config.storeset_ssit_size)
+    if name == "oracle":
+        if trace is None:
+            raise ConfigError("oracle policy requires a golden trace")
+        return OraclePolicy(trace)
+    raise ConfigError(f"unknown dependence policy {name!r}")

@@ -1,0 +1,83 @@
+"""Dependence-speculation policy interface and the two trivial policies.
+
+A policy decides, for each load whose address is known, whether the load
+may issue now or must wait for older stores.  The LSQ re-polls deferred
+loads whenever an older store resolves, so policies are event-driven and
+stateless per query.
+
+The four policies of the evaluation:
+
+* **conservative** — a load waits until *every* older in-flight store has
+  resolved.  No mis-speculation, maximum serialisation.
+* **aggressive** — loads never wait.  Maximum speculation; recovery (flush
+  or DSRE) cleans up.  This is the issue policy the DSRE protocol runs.
+* **storeset** (:mod:`repro.spec.storeset`) — the best dependence predictor
+  in the literature at publication time; the paper's headline +17% is DSRE
+  over this baseline.
+* **oracle** (:mod:`repro.spec.oracle`) — perfect knowledge of each load's
+  producing store from the golden trace; the paper's 82%-of-oracle anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+#: Static identity of a memory operation: (block name, lsid).
+StaticMemId = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class LoadQuery:
+    """Everything a policy may consider when deciding whether a load waits."""
+
+    static_id: StaticMemId
+    seq: int                   # dynamic block index of the load's frame
+    lsid: int
+    addr: int
+    width: int
+
+
+@dataclass(frozen=True)
+class StoreView:
+    """A policy's view of one older in-flight store."""
+
+    static_id: StaticMemId
+    seq: int
+    lsid: int
+    resolved: bool             # address+data known (or known-null)
+
+
+class DependencePolicy:
+    """Decides load issue timing; trained on mis-speculations."""
+
+    name = "abstract"
+
+    def should_wait(self, load: LoadQuery,
+                    older_stores: Iterable[StoreView]) -> bool:
+        """True if the load must keep waiting given current store state."""
+        raise NotImplementedError
+
+    def on_misspeculation(self, load_static: StaticMemId,
+                          store_static: StaticMemId) -> None:
+        """Called when a load received a wrong value because of this store."""
+
+
+class ConservativePolicy(DependencePolicy):
+    """Loads wait for all older in-flight stores to resolve."""
+
+    name = "conservative"
+
+    def should_wait(self, load: LoadQuery,
+                    older_stores: Iterable[StoreView]) -> bool:
+        return any(not s.resolved for s in older_stores)
+
+
+class AggressivePolicy(DependencePolicy):
+    """Loads never wait (DSRE's issue policy)."""
+
+    name = "aggressive"
+
+    def should_wait(self, load: LoadQuery,
+                    older_stores: Iterable[StoreView]) -> bool:
+        return False

@@ -1,0 +1,91 @@
+"""Store-set dependence predictor (Chrysos & Emer, adapted to EDGE).
+
+Static memory operations are identified by (block name, LSID) — the EDGE
+analogue of a PC.  The Store Set ID Table (SSIT) maps the hash of a static
+id to a store-set ID (SSID).  A load predicted to depend on a store set
+waits until every older in-flight store belonging to the same set has
+resolved; all other older stores are ignored.
+
+Training follows the classic merge rules on each mis-speculation:
+
+* neither op has a set -> allocate a fresh SSID for both;
+* one has a set -> the other joins it;
+* both have sets -> the sets merge (both entries take the smaller SSID).
+
+A finite SSIT causes aliasing exactly as in hardware, which experiment E8
+sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from .policy import DependencePolicy, LoadQuery, StaticMemId, StoreView
+
+
+@dataclass
+class StoreSetStats:
+    trainings: int = 0
+    merges: int = 0
+    waits: int = 0
+
+
+class StoreSetPolicy(DependencePolicy):
+    """SSIT-based dependence prediction."""
+
+    name = "storeset"
+
+    def __init__(self, ssit_size: int = 1024):
+        if ssit_size < 2:
+            raise ValueError("SSIT needs at least two entries")
+        self.ssit_size = ssit_size
+        self._ssit: List[Optional[int]] = [None] * ssit_size
+        self._next_ssid = 0
+        self.stats = StoreSetStats()
+
+    # ------------------------------------------------------------------
+
+    def _index(self, static_id: StaticMemId) -> int:
+        name, lsid = static_id
+        h = 2166136261
+        for ch in name:
+            h = ((h ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+        h = ((h ^ lsid) * 16777619) & 0xFFFFFFFF
+        return h % self.ssit_size
+
+    def ssid_of(self, static_id: StaticMemId) -> Optional[int]:
+        return self._ssit[self._index(static_id)]
+
+    # ------------------------------------------------------------------
+
+    def should_wait(self, load: LoadQuery,
+                    older_stores: Iterable[StoreView]) -> bool:
+        ssid = self.ssid_of(load.static_id)
+        if ssid is None:
+            return False
+        for store in older_stores:
+            if store.resolved:
+                continue
+            if self.ssid_of(store.static_id) == ssid:
+                self.stats.waits += 1
+                return True
+        return False
+
+    def on_misspeculation(self, load_static: StaticMemId,
+                          store_static: StaticMemId) -> None:
+        self.stats.trainings += 1
+        li, si = self._index(load_static), self._index(store_static)
+        lset, sset = self._ssit[li], self._ssit[si]
+        if lset is None and sset is None:
+            ssid = self._next_ssid
+            self._next_ssid += 1
+            self._ssit[li] = self._ssit[si] = ssid
+        elif lset is None:
+            self._ssit[li] = sset
+        elif sset is None:
+            self._ssit[si] = lset
+        elif lset != sset:
+            self.stats.merges += 1
+            winner = min(lset, sset)
+            self._ssit[li] = self._ssit[si] = winner

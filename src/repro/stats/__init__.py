@@ -1,0 +1,5 @@
+"""Statistics collection and report rendering."""
+
+from .counters import SimStats
+
+__all__ = ["SimStats"]

@@ -1,0 +1,89 @@
+"""Simulation statistics.
+
+:class:`SimStats` is filled in by the processor during a run; the derived
+properties (IPC, re-execution ratios, recovery costs) are what the
+benchmark harness reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    """Counters for one timing-simulation run."""
+
+    cycles: int = 0
+
+    # Commit-side (useful) work.
+    committed_blocks: int = 0
+    committed_instructions: int = 0     # non-null results that committed
+    committed_nulls: int = 0            # predicated-off slots that committed
+
+    # Execution-side (total) work, including waves and squashed frames.
+    executions: int = 0                 # every FU pass
+    reexecutions: int = 0               # FU passes beyond a node's first
+    load_redeliveries: int = 0          # LSQ value re-deliveries applied
+    squashed_executions: int = 0        # FU passes thrown away by flushes
+
+    # Recovery events.
+    violation_flushes: int = 0
+    branch_redirects: int = 0
+    late_branch_redirects: int = 0      # redirects caused by a DSRE wave
+    squashed_frames: int = 0
+    squashed_instructions: int = 0      # window occupancy lost to flushes
+
+    # Speculation events.
+    dependence_mispeculations: int = 0  # value-changing store/load overlaps
+
+    # Frame bookkeeping.
+    frames_mapped: int = 0
+    fetch_stall_cycles: int = 0
+
+    # Occupancy sampling.
+    occupancy_samples: int = 0
+    occupancy_total: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Committed useful instructions per cycle."""
+        return self.committed_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def blocks_per_kcycle(self) -> float:
+        return 1000.0 * self.committed_blocks / self.cycles if self.cycles \
+            else 0.0
+
+    @property
+    def reexecution_ratio(self) -> float:
+        """Re-executions per committed instruction (DSRE overhead)."""
+        if not self.committed_instructions:
+            return 0.0
+        return self.reexecutions / self.committed_instructions
+
+    @property
+    def wasted_execution_ratio(self) -> float:
+        """Squashed FU work per committed instruction (flush overhead)."""
+        if not self.committed_instructions:
+            return 0.0
+        return self.squashed_executions / self.committed_instructions
+
+    @property
+    def average_occupancy(self) -> float:
+        """Mean number of in-flight frames."""
+        if not self.occupancy_samples:
+            return 0.0
+        return self.occupancy_total / self.occupancy_samples
+
+    def as_dict(self) -> Dict[str, float]:
+        base = {name: getattr(self, name)
+                for name in self.__dataclass_fields__}
+        base.update(
+            ipc=self.ipc,
+            reexecution_ratio=self.reexecution_ratio,
+            wasted_execution_ratio=self.wasted_execution_ratio,
+            average_occupancy=self.average_occupancy,
+        )
+        return base

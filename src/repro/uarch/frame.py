@@ -1,0 +1,149 @@
+"""In-flight block frames.
+
+A frame is one dynamic instance of a block occupying a slot of the
+distributed instruction window: its instruction nodes (spread across the
+tile grid), its register read/write interface, and its branch unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.buffers import SlotStatus, TokenBuffer
+from ..core.node import InstructionNode
+from ..errors import SimulationError
+from ..isa.block import Block
+from ..isa.instruction import Slot
+from .config import MachineConfig
+
+#: Where a frame's register read gets its value: the architectural file
+#: (with the value captured at map time) or an older in-flight frame's
+#: write slot.
+ReadSource = Union[Tuple[str, int], Tuple[str, int, int]]
+# ("arch", value) | ("frame", source_frame_uid, write_slot_index)
+
+
+@dataclass
+class ReadForward:
+    """Latest value broadcast for one read slot."""
+
+    wave: int = 0
+    value: Optional[int] = None
+    final: bool = False
+
+
+class Frame:
+    """One in-flight dynamic block."""
+
+    def __init__(self, uid: int, seq: int, block: Block,
+                 config: MachineConfig):
+        self.uid = uid
+        self.seq = seq
+        self.block = block
+        self.config = config
+
+        producers = block.slot_producers
+        self.nodes: List[InstructionNode] = []
+        for idx, inst in enumerate(block.instructions):
+            slot_map: Dict[Slot, list] = {}
+            for slot in inst.required_slots():
+                slot_map[slot] = producers.get(("inst", idx, slot), [])
+            self.nodes.append(InstructionNode(uid, idx, inst, slot_map))
+
+        self.write_buffers: List[TokenBuffer] = [
+            TokenBuffer(producers[("write", wi, None)])
+            for wi in range(len(block.writes))]
+        #: Last (value, final) forwarded per write slot, and its wave.
+        self.write_forwarded: List[Optional[Tuple[int, bool]]] = (
+            [None] * len(block.writes))
+        self.write_fwd_wave: List[int] = [0] * len(block.writes)
+        #: Younger frame uids subscribed to each write slot.
+        self.subscribers: List[List[int]] = [[] for _ in block.writes]
+
+        branch_producers = [("inst", i) for i in block.branch_indices]
+        self.branch_buffer = TokenBuffer(branch_producers)
+
+        self.read_sources: List[ReadSource] = []
+        self.read_forwards: List[ReadForward] = [
+            ReadForward() for _ in block.reads]
+
+        self.lsid_to_index: Dict[int, int] = {
+            inst.lsid: i for i, inst in enumerate(block.instructions)
+            if inst.is_memory}
+        self.write_index_of_reg: Dict[int, int] = {
+            w.reg: wi for wi, w in enumerate(block.writes)}
+
+        #: What the fetch engine predicted this block's successor to be.
+        self.predicted_next: Optional[str] = None
+        #: Block name actually fetched after this frame (for redirects).
+        self.fetched_next: Optional[str] = None
+        self.mapped_cycle = 0
+
+    # ------------------------------------------------------------------
+
+    def node_of_lsid(self, lsid: int) -> InstructionNode:
+        return self.nodes[self.lsid_to_index[lsid]]
+
+    @property
+    def branch_label(self) -> Optional[str]:
+        eff = self.branch_buffer.effective
+        if eff.status is SlotStatus.VALUE:
+            return eff.value
+        return None
+
+    def branch_final(self) -> bool:
+        if not self.branch_buffer.is_final():
+            return False
+        if self.branch_buffer.effective.status is not SlotStatus.VALUE:
+            raise SimulationError(
+                f"frame {self.uid} ({self.block.name}): no branch fired")
+        return True
+
+    def writes_final(self) -> bool:
+        for wi, buffer in enumerate(self.write_buffers):
+            if not buffer.is_final():
+                return False
+            if buffer.effective.status is not SlotStatus.VALUE:
+                raise SimulationError(
+                    f"frame {self.uid} ({self.block.name}): write slot "
+                    f"W{wi} finalised all-null")
+        return True
+
+    def outputs_final(self) -> bool:
+        """DSRE commit gate (the commit wave must have arrived)."""
+        return self.writes_final() and self.branch_final()
+
+    def outputs_produced(self) -> bool:
+        """Flush-recovery commit gate: completion only.
+
+        Under flush recovery no produced value can ever change (a detected
+        mis-speculation squashes the frame instead), so a block may commit
+        as soon as every output exists.
+        """
+        if self.branch_label is None:
+            return False
+        return all(b.effective.status is SlotStatus.VALUE
+                   for b in self.write_buffers)
+
+    def final_reg_writes(self) -> Dict[int, int]:
+        return {self.block.writes[wi].reg: buf.effective.value
+                for wi, buf in enumerate(self.write_buffers)}
+
+    # ------------------------------------------------------------------
+
+    def total_executions(self) -> int:
+        return sum(node.exec_count for node in self.nodes)
+
+    def useful_instructions(self) -> int:
+        """Nodes whose (final) outcome was a real result, not a NULL."""
+        from ..core.node import OutcomeKind
+        count = 0
+        for node in self.nodes:
+            if node.last_outcome is not None \
+                    and node.last_outcome.kind is not OutcomeKind.NULL:
+                count += 1
+        return count
+
+    def __repr__(self) -> str:
+        return f"<Frame uid={self.uid} seq={self.seq} {self.block.name}>"

@@ -1,0 +1,536 @@
+"""Load/store queue: forwarding, dependence checking, confirmation.
+
+The LSQ holds one entry per static memory operation of every in-flight
+frame, ordered globally by ``(dynamic block index, LSID)`` — the machine's
+sequential memory order.  It implements:
+
+* **speculative load issue** — a load's value is assembled byte-wise from
+  the youngest older *resolved* stores, falling back to committed memory
+  (charged as a data-cache access);
+* **dependence checking** — when a store resolves (or changes address or
+  value on a DSRE re-execution wave), every younger already-issued load
+  whose correct value changed is flagged: a *violation* under flush
+  recovery, a *re-delivery* under DSRE;
+* **deferral** — loads wait when the dependence policy says so, and are
+  re-polled whenever an older store resolves;
+* **confirmation** — the commit-wave step for loads: once a load's address
+  is final and every older store is final, the LSQ either confirms the
+  returned value (emitting the load's final token) or issues one last
+  corrected re-delivery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..arch.memory import SparseMemory
+from ..errors import SimulationError
+from ..isa.block import Block
+from ..spec.policy import DependencePolicy, LoadQuery, StoreView
+from .cache import Cache
+
+
+class MemKind(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+
+
+@dataclass
+class MemEntry:
+    """One in-flight memory operation."""
+
+    frame_uid: int
+    seq: int
+    lsid: int
+    kind: MemKind
+    static_id: Tuple[str, int]
+    width: int
+
+    wave: int = -1              # highest update wave seen from the node
+    null: bool = False          # predicated off at the latest wave
+    final: bool = False         # node's inputs are final (commit wave)
+    #: Store only: the address (not necessarily the data) is final, so the
+    #: store can be disambiguated against loads it does not overlap.
+    addr_final: bool = False
+
+    # Store state.
+    addr: Optional[int] = None
+    value: Optional[int] = None
+
+    # Load state.
+    issued: bool = False
+    deferred: bool = False
+    returned_value: Optional[int] = None
+    confirmed: bool = False
+    redeliveries: int = 0
+    #: Cycle at which the latest issued response reaches the load node;
+    #: confirmation may never undercut this (no free cache bypass).
+    value_ready_at: int = 0
+
+    @property
+    def order_key(self) -> Tuple[int, int]:
+        return (self.seq, self.lsid)
+
+    @property
+    def store_resolved(self) -> bool:
+        """A store is resolved when it can forward (or is known-null)."""
+        return self.null or self.addr is not None
+
+    def complete_for_commit(self, require_confirm: bool) -> bool:
+        """Commit gate for one entry.
+
+        Under DSRE (``require_confirm``) the commit wave must have passed:
+        stores final, loads confirmed.  Under flush recovery values can
+        never change once produced (any mis-speculation flushed instead),
+        so *completion* suffices — that cheap commit check is exactly what
+        the flush mechanism buys in exchange for expensive recovery.
+        """
+        if require_confirm:
+            if self.kind is MemKind.STORE:
+                return self.final and self.store_resolved
+            return (self.null and self.final) or self.confirmed
+        if self.kind is MemKind.STORE:
+            return self.store_resolved
+        return self.null or self.issued
+
+
+# --- Actions the LSQ hands back to the processor -----------------------
+
+@dataclass
+class LoadResponse:
+    """Deliver a value to a load node after ``latency`` cycles."""
+
+    entry: MemEntry
+    value: int
+    latency: int
+    final: bool = False
+    is_redelivery: bool = False
+
+
+@dataclass
+class Violation:
+    """Flush-mode mis-speculation: recovery must restart at ``load.seq``."""
+
+    load: MemEntry
+    store: MemEntry
+
+
+@dataclass
+class Confirmed:
+    """A load's returned value was confirmed; emit its final token."""
+
+    entry: MemEntry
+    value: int
+    latency: int = 0
+
+
+LsqAction = object  # LoadResponse | Violation | Confirmed
+
+
+@dataclass
+class LsqStats:
+    loads_issued: int = 0
+    loads_deferred: int = 0
+    full_forwards: int = 0
+    partial_forwards: int = 0
+    cache_reads: int = 0
+    violations: int = 0
+    redeliveries: int = 0
+    final_redeliveries: int = 0
+    confirmations: int = 0
+    trainings: int = 0
+
+
+class LoadStoreQueue:
+    """The machine's memory-ordering unit."""
+
+    def __init__(self, memory: SparseMemory, dcache: Cache,
+                 policy: DependencePolicy, forward_latency: int,
+                 recovery: str):
+        self.memory = memory
+        self.dcache = dcache
+        self.policy = policy
+        self.forward_latency = forward_latency
+        self.recovery = recovery
+        #: DSRE gates commit on the commit wave (confirmation); flush
+        #: recovery gates on completion only.
+        self.require_confirm = recovery == "dsre"
+        #: Current cycle, advanced by the owning processor.
+        self.now = 0
+        #: One-shot wait bits set on violation: the refetched instance of a
+        #: violating load waits for all older stores to resolve, which
+        #: guarantees forward progress after a flush (otherwise an in-block
+        #: store->load violation would re-trigger identically forever).
+        self._poisoned: set = set()
+        self.stats = LsqStats()
+        #: frame uid -> lsid -> entry; frames kept in seq order.
+        self._frames: Dict[int, Dict[int, MemEntry]] = {}
+        self._frame_order: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Frame lifecycle
+    # ------------------------------------------------------------------
+
+    def register_frame(self, frame_uid: int, seq: int, block: Block) -> None:
+        if self._frame_order:
+            last = self._frames[self._frame_order[-1]]
+            last_seq = next(iter(last.values())).seq if last else -1
+            if last and seq <= last_seq:
+                raise SimulationError("frames must register in seq order")
+        entries: Dict[int, MemEntry] = {}
+        for inst in block.instructions:
+            if inst.is_memory:
+                kind = MemKind.LOAD if inst.is_load else MemKind.STORE
+                entries[inst.lsid] = MemEntry(
+                    frame_uid, seq, inst.lsid, kind,
+                    (block.name, inst.lsid), inst.width)
+        self._frames[frame_uid] = entries
+        self._frame_order.append(frame_uid)
+
+    def drop_frame(self, frame_uid: int) -> None:
+        self._frames.pop(frame_uid, None)
+        self._frame_order = [u for u in self._frame_order if u != frame_uid]
+
+    def commit_frame(self, frame_uid: int) -> List[Tuple[int, int, int]]:
+        """Remove the (oldest) frame; return its stores as (addr, value,
+        width) in LSID order for draining to memory."""
+        if not self._frame_order or self._frame_order[0] != frame_uid:
+            raise SimulationError("only the oldest frame may commit")
+        entries = self._frames[frame_uid]
+        stores = []
+        for lsid in sorted(entries):
+            e = entries[lsid]
+            if not e.complete_for_commit(self.require_confirm):
+                raise SimulationError(
+                    f"commit of frame {frame_uid} with incomplete "
+                    f"lsid {lsid}")
+            if e.kind is MemKind.STORE and not e.null:
+                stores.append((e.addr, e.value, e.width))
+        committed_seq = next(iter(entries.values())).seq if entries else 0
+        self._poisoned = {(seq, sid) for seq, sid in self._poisoned
+                          if seq > committed_seq}
+        self.drop_frame(frame_uid)
+        return stores
+
+    def frame_mem_final(self, frame_uid: int) -> bool:
+        entries = self._frames.get(frame_uid)
+        if entries is None:
+            return True
+        return all(e.complete_for_commit(self.require_confirm)
+                   for e in entries.values())
+
+    # ------------------------------------------------------------------
+    # Entry access helpers
+    # ------------------------------------------------------------------
+
+    def entry(self, frame_uid: int, lsid: int) -> MemEntry:
+        return self._frames[frame_uid][lsid]
+
+    def _all_entries(self) -> Iterable[MemEntry]:
+        for uid in self._frame_order:
+            entries = self._frames[uid]
+            for lsid in sorted(entries):
+                yield entries[lsid]
+
+    def _stores_older_than(self, key: Tuple[int, int],
+                           newest_first: bool = True) -> List[MemEntry]:
+        stores = [e for e in self._all_entries()
+                  if e.kind is MemKind.STORE and e.order_key < key]
+        if newest_first:
+            stores.reverse()
+        return stores
+
+    def _issued_loads_younger_than(self, key: Tuple[int, int]
+                                   ) -> List[MemEntry]:
+        return [e for e in self._all_entries()
+                if e.kind is MemKind.LOAD and e.order_key > key
+                and e.issued and not e.null]
+
+    # ------------------------------------------------------------------
+    # Value assembly
+    # ------------------------------------------------------------------
+
+    def speculative_value(self, load: MemEntry
+                          ) -> Tuple[int, bool, bool,
+                                     Optional[MemEntry]]:
+        """Assemble the load's value from resolved older stores + memory.
+
+        Returns ``(value, fully_forwarded, any_forwarded, youngest_store)``
+        where ``youngest_store`` is the youngest store contributing a byte.
+        """
+        assert load.addr is not None
+        stores = [s for s in self._stores_older_than(load.order_key)
+                  if not s.null and s.addr is not None]
+        data = bytearray()
+        fully = True
+        any_fwd = False
+        youngest: Optional[MemEntry] = None
+        for offset in range(load.width):
+            byte_addr = (load.addr + offset) & ((1 << 64) - 1)
+            byte = None
+            for store in stores:           # newest first
+                if store.addr <= byte_addr < store.addr + store.width:
+                    byte = (store.value >> (8 * (byte_addr - store.addr))) \
+                        & 0xFF
+                    any_fwd = True
+                    if youngest is None or store.order_key > youngest.order_key:
+                        youngest = store
+                    break
+            if byte is None:
+                fully = False
+                byte = self.memory.read_bytes(byte_addr, 1)[0]
+            data.append(byte)
+        return int.from_bytes(bytes(data), "little"), fully, any_fwd, youngest
+
+    # ------------------------------------------------------------------
+    # Load path
+    # ------------------------------------------------------------------
+
+    def _policy_view(self, load: MemEntry) -> List[StoreView]:
+        return [StoreView(s.static_id, s.seq, s.lsid, s.store_resolved)
+                for s in self._stores_older_than(load.order_key,
+                                                 newest_first=False)]
+
+    def _load_query(self, load: MemEntry) -> LoadQuery:
+        return LoadQuery(load.static_id, load.seq, load.lsid,
+                         load.addr, load.width)
+
+    def load_request(self, frame_uid: int, lsid: int, addr: int,
+                     wave: int, final: bool = False) -> List[LsqAction]:
+        """A load node's address arrived (or re-arrived at a higher wave)."""
+        entry = self.entry(frame_uid, lsid)
+        if wave < entry.wave:
+            return []
+        entry.wave = wave
+        entry.null = False
+        if final:
+            entry.final = True
+        addr_changed = entry.addr != addr
+        if addr_changed:
+            entry.confirmed = False
+        entry.addr = addr
+        if entry.issued and not addr_changed:
+            return self._maybe_confirm(entry)
+        if self._must_wait(entry):
+            entry.deferred = True
+            self.stats.loads_deferred += 1
+            return []
+        return self._issue_load(entry)
+
+    def poison(self, seq: int, static_id: Tuple[str, int]) -> None:
+        """Set the one-shot wait bit for a violating load instance."""
+        self._poisoned.add((seq, static_id))
+
+    def _must_wait(self, entry: MemEntry) -> bool:
+        if self.policy.should_wait(self._load_query(entry),
+                                   self._policy_view(entry)):
+            return True
+        if (entry.seq, entry.static_id) in self._poisoned:
+            # The wait bit persists until the instance commits: the frame
+            # may be re-squashed by an unrelated violation, and the
+            # refetched instance must keep waiting too.
+            return any(not s.store_resolved
+                       for s in self._stores_older_than(entry.order_key))
+        return False
+
+    def _compute_load(self, entry: MemEntry) -> Tuple[int, int]:
+        """Assemble the load's current value and its access latency."""
+        value, fully, any_fwd, _ = self.speculative_value(entry)
+        if fully:
+            latency = self.forward_latency
+            self.stats.full_forwards += 1
+        else:
+            self.stats.cache_reads += 1
+            cache_lat = self.dcache.access(entry.addr)
+            if any_fwd:
+                self.stats.partial_forwards += 1
+                latency = max(self.forward_latency, cache_lat)
+            else:
+                latency = cache_lat
+        return value, latency
+
+    def _issue_load(self, entry: MemEntry,
+                    is_redelivery: bool = False) -> List[LsqAction]:
+        entry.deferred = False
+        value, latency = self._compute_load(entry)
+        entry.value_ready_at = max(entry.value_ready_at, self.now + latency)
+        first_issue = not entry.issued
+        entry.issued = True
+        changed = entry.returned_value != value
+        entry.returned_value = value
+        if first_issue:
+            self.stats.loads_issued += 1
+        actions: List[LsqAction] = []
+        if first_issue or changed or is_redelivery:
+            actions.append(LoadResponse(entry, value, latency,
+                                        is_redelivery=is_redelivery))
+            if is_redelivery:
+                entry.redeliveries += 1
+                self.stats.redeliveries += 1
+        actions.extend(self._maybe_confirm(entry))
+        return actions
+
+    def load_null(self, frame_uid: int, lsid: int, wave: int,
+                  final: bool) -> List[LsqAction]:
+        """The load was predicated off at this wave."""
+        entry = self.entry(frame_uid, lsid)
+        if wave < entry.wave:
+            return []
+        if wave == entry.wave and entry.null:
+            entry.final = entry.final or final
+            return []
+        entry.wave = wave
+        entry.null = True
+        entry.final = final
+        entry.deferred = False
+        entry.confirmed = False
+        return []
+
+    def load_addr_final(self, frame_uid: int, lsid: int) -> List[LsqAction]:
+        """The load's address operands are final (commit wave reached it)."""
+        entry = self.entry(frame_uid, lsid)
+        entry.final = True
+        if entry.deferred:
+            # A final address cannot be deferred forever; re-poll now.
+            return self._poll_deferred_one(entry)
+        return self._maybe_confirm(entry)
+
+    def _poll_deferred_one(self, entry: MemEntry) -> List[LsqAction]:
+        if self._must_wait(entry):
+            return []
+        return self._issue_load(entry)
+
+    # ------------------------------------------------------------------
+    # Store path
+    # ------------------------------------------------------------------
+
+    def store_update(self, frame_uid: int, lsid: int, addr: Optional[int],
+                     value: Optional[int], wave: int, final: bool,
+                     null: bool, addr_final: bool = False) -> List[LsqAction]:
+        """A store node executed (or re-executed, or was predicated off)."""
+        entry = self.entry(frame_uid, lsid)
+        addr_final = addr_final or final
+        if wave < entry.wave:
+            return []
+        if wave == entry.wave:
+            upgraded = (final and not entry.final) \
+                or (addr_final and not entry.addr_final)
+            entry.final = entry.final or final
+            entry.addr_final = entry.addr_final or addr_final
+            if upgraded:
+                return self._after_store_event(entry)
+            return []
+        old_addr, old_width = entry.addr, entry.width
+        old_value, old_null = entry.value, entry.null
+        entry.wave = wave
+        entry.final = final
+        entry.addr_final = addr_final
+        entry.null = null
+        entry.addr = None if null else addr
+        if null:
+            entry.value = None
+        else:
+            entry.value = value & ((1 << (8 * entry.width)) - 1)
+        actions: List[LsqAction] = []
+        unchanged = (old_null == null and old_addr == entry.addr
+                     and old_value == entry.value)
+        if not unchanged:
+            actions.extend(self._recheck_loads(
+                entry, old_addr, old_width if old_addr is not None else 0))
+        actions.extend(self._after_store_event(entry))
+        return actions
+
+    def _ranges_overlap(self, load: MemEntry, addr: Optional[int],
+                        width: int) -> bool:
+        if addr is None or load.addr is None:
+            return False
+        return load.addr < addr + width and addr < load.addr + load.width
+
+    def _recheck_loads(self, store: MemEntry, old_addr: Optional[int],
+                       old_width: int) -> List[LsqAction]:
+        """Value-based dependence check of younger issued loads."""
+        actions: List[LsqAction] = []
+        for load in self._issued_loads_younger_than(store.order_key):
+            touches_new = self._ranges_overlap(load, store.addr, store.width)
+            touches_old = self._ranges_overlap(load, old_addr, old_width)
+            if not (touches_new or touches_old):
+                continue
+            correct, _, _, _ = self.speculative_value(load)
+            if correct == load.returned_value:
+                continue
+            self.policy.on_misspeculation(load.static_id, store.static_id)
+            self.stats.trainings += 1
+            if self.recovery == "flush":
+                self.stats.violations += 1
+                actions.append(Violation(load, store))
+            else:
+                actions.extend(self._issue_load(load, is_redelivery=True))
+        return actions
+
+    def _after_store_event(self, store: MemEntry) -> List[LsqAction]:
+        """Wake deferred loads and retry confirmations after a store event."""
+        actions: List[LsqAction] = []
+        for load in list(self._all_entries()):
+            if load.kind is not MemKind.LOAD:
+                continue
+            if load.order_key <= store.order_key:
+                continue
+            if load.deferred:
+                actions.extend(self._poll_deferred_one(load))
+            elif load.issued and not load.confirmed:
+                actions.extend(self._maybe_confirm(load))
+        return actions
+
+    # ------------------------------------------------------------------
+    # Confirmation (the commit wave through memory)
+    # ------------------------------------------------------------------
+
+    def _maybe_confirm(self, entry: MemEntry) -> List[LsqAction]:
+        if not self.require_confirm:
+            return []
+        if (entry.confirmed or entry.null or not entry.issued
+                or not entry.final):
+            return []
+        for store in self._stores_older_than(entry.order_key):
+            if store.null:
+                if not store.final:
+                    return []
+                continue
+            if store.final and store.store_resolved:
+                continue
+            # A store with a final address that cannot overlap this load
+            # does not gate confirmation even while its data is pending.
+            if (store.addr_final and store.addr is not None
+                    and not self._ranges_overlap(entry, store.addr,
+                                                 store.width)):
+                continue
+            return []
+        correct, _, _, _ = self.speculative_value(entry)
+        entry.confirmed = True
+        # The confirmation may never reach the node before the issued
+        # response does — that would be a free cache bypass.
+        pending = max(0, entry.value_ready_at - self.now)
+        if correct == entry.returned_value:
+            # A pure confirmation is a control signal, not a data access:
+            # it costs only its network trip (plus any still-pending data).
+            self.stats.confirmations += 1
+            return [Confirmed(entry, correct, pending)]
+        # Mis-speculated and nothing re-checked it earlier: final redelivery
+        # under DSRE (flush mode does not run confirmation at all).
+        self.stats.final_redeliveries += 1
+        _, access_latency = self._compute_load(entry)
+        latency = max(access_latency, pending)
+        entry.value_ready_at = max(entry.value_ready_at, self.now + latency)
+        entry.returned_value = correct
+        entry.redeliveries += 1
+        self.stats.redeliveries += 1
+        return [LoadResponse(entry, correct, latency,
+                             final=True, is_redelivery=True)]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(v) for v in self._frames.values())

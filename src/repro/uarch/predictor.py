@@ -1,0 +1,115 @@
+"""Next-block prediction.
+
+EDGE machines fetch whole blocks, so control speculation is a *next block*
+prediction made once per block.  Two predictors are provided:
+
+* :class:`LastTargetPredictor` — a tagged table of (block -> last observed
+  successor) with 2-bit hysteresis; cold entries fall back to the block's
+  first static successor.
+* :class:`PerfectPredictor` — replays the golden trace (for the ablation
+  that isolates data mis-speculation from control mis-speculation).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..arch.trace import ExecutionTrace
+from ..isa.block import Block
+from ..isa.program import HALT_LABEL
+
+
+@dataclass
+class PredictorStats:
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+
+class NextBlockPredictor:
+    """Interface: predict the dynamic successor of a block instance."""
+
+    def __init__(self):
+        self.stats = PredictorStats()
+
+    def predict(self, block: Block, seq: int) -> str:
+        raise NotImplementedError
+
+    def update(self, block: Block, seq: int, actual: str,
+               predicted: str) -> None:
+        self.stats.predictions += 1
+        if actual != predicted:
+            self.stats.mispredictions += 1
+        self._train(block, actual)
+
+    def _train(self, block: Block, actual: str) -> None:
+        pass
+
+
+class LastTargetPredictor(NextBlockPredictor):
+    """Last-successor table with 2-bit hysteresis and LRU replacement."""
+
+    def __init__(self, entries: int = 2048):
+        super().__init__()
+        self.entries = entries
+        self._table: OrderedDict = OrderedDict()  # name -> [target, counter]
+
+    def predict(self, block: Block, seq: int) -> str:
+        entry = self._table.get(block.name)
+        if entry is not None:
+            self._table.move_to_end(block.name)
+            return entry[0]
+        successors = block.successors
+        return successors[0] if successors else HALT_LABEL
+
+    def _train(self, block: Block, actual: str) -> None:
+        entry = self._table.get(block.name)
+        if entry is None:
+            self._table[block.name] = [actual, 1]
+            if len(self._table) > self.entries:
+                self._table.popitem(last=False)
+            return
+        self._table.move_to_end(block.name)
+        if entry[0] == actual:
+            entry[1] = min(3, entry[1] + 1)
+        else:
+            entry[1] -= 1
+            if entry[1] <= 0:
+                entry[0] = actual
+                entry[1] = 1
+
+
+class PerfectPredictor(NextBlockPredictor):
+    """Replays the golden trace: always predicts the correct-path successor.
+
+    Off the correct path (which cannot happen when predictions are taken,
+    but can transiently during DSRE wave turbulence) it predicts HALT.
+    """
+
+    def __init__(self, trace: ExecutionTrace):
+        super().__init__()
+        self._trace = trace
+
+    def predict(self, block: Block, seq: int) -> str:
+        if seq < len(self._trace.records):
+            record = self._trace.records[seq]
+            if record.name == block.name:
+                return record.next_block
+        return HALT_LABEL
+
+
+def build_predictor(config, trace: Optional[ExecutionTrace]
+                    ) -> NextBlockPredictor:
+    """Instantiate the predictor named by ``config.next_block_predictor``."""
+    if config.next_block_predictor == "perfect":
+        if trace is None:
+            raise ValueError("perfect predictor requires a golden trace")
+        return PerfectPredictor(trace)
+    return LastTargetPredictor(config.predictor_entries)

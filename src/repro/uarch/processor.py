@@ -1,0 +1,813 @@
+"""The cycle-level EDGE processor model.
+
+Pulls the substrates together: frames of dataflow nodes mapped across the
+execution-tile grid, the operand mesh, the LSQ, block fetch with next-block
+prediction, and in-order block commit.  Mis-speculation recovery is either
+
+* ``flush`` — a detected load/store violation squashes the offending frame
+  and everything younger, then refetches (the conventional mechanism); or
+* ``dsre`` — the paper's protocol: the LSQ re-delivers the corrected value
+  to the load, which re-fires its consumers as a new speculative wave while
+  the commit wave (final tokens) trails behind and gates block commit.
+
+The timing model never bypasses architecture: committed register and memory
+state is compared block-by-block against the functional golden model when
+``check_with_golden`` is on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.interp import run_program
+from ..arch.state import ArchState
+from ..arch.trace import ExecutionTrace
+from ..core.node import InstructionNode, NodeState, Outcome, OutcomeKind
+from ..core.tokens import BRANCH_DEST, Token, inst_dest, write_dest
+from ..errors import GoldenMismatchError, SimulationError
+from ..isa.instruction import Target, TargetKind
+from ..isa.program import HALT_LABEL, Program
+from ..spec import build_policy
+from ..stats.counters import SimStats
+from .cache import BlockCache, build_hierarchy
+from .config import MachineConfig, default_config
+from .frame import Frame
+from .lsq import Confirmed, LoadResponse, LoadStoreQueue, Violation
+from .network import Message, MsgKind, OperandNetwork
+from .predictor import build_predictor
+from .tile import ExecTile
+
+
+@dataclass
+class LoadReqPayload:
+    frame_uid: int
+    lsid: int
+    addr: int
+    wave: int
+    final: bool
+
+
+@dataclass
+class StoreUpdPayload:
+    frame_uid: int
+    lsid: int
+    addr: Optional[int]
+    value: Optional[int]
+    wave: int
+    final: bool
+    null: bool
+    addr_final: bool = False
+
+
+@dataclass
+class LoadRespPayload:
+    frame_uid: int
+    inst_index: int
+    value: int
+    final: bool
+    is_redelivery: bool
+
+
+@dataclass
+class RegFwdPayload:
+    frame_uid: int
+    read_index: int
+    value: int
+    wave: int
+    final: bool
+
+
+@dataclass
+class SimResult:
+    """Everything a harness needs from one timing run."""
+
+    stats: SimStats
+    config: MachineConfig
+    arch: ArchState
+    lsq_stats: object
+    network_stats: object
+    l1_stats: object
+    predictor_stats: object
+    halted: bool
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    def summary(self) -> str:
+        s = self.stats
+        lines = [
+            f"cycles                 {s.cycles}",
+            f"committed blocks       {s.committed_blocks}",
+            f"committed instructions {s.committed_instructions}",
+            f"IPC                    {s.ipc:.3f}",
+            f"executions (total)     {s.executions}"
+            f"  (re-executions {s.reexecutions})",
+            f"load re-deliveries     {s.load_redeliveries}",
+            f"violation flushes      {s.violation_flushes}",
+            f"branch redirects       {s.branch_redirects}",
+            f"squashed executions    {s.squashed_executions}",
+            f"network msgs sent      {self.network_stats.sent}"
+            f"  (commit-wave {self.network_stats.final_sent})",
+            f"L1D hit rate           {self.l1_stats.hit_rate:.3f}",
+            f"next-block accuracy    {self.predictor_stats.accuracy:.3f}",
+        ]
+        return "\n".join(lines)
+
+
+class Processor:
+    """One simulated machine executing one program."""
+
+    def __init__(self, program: Program,
+                 config: Optional[MachineConfig] = None,
+                 initial_regs: Optional[Dict[int, int]] = None,
+                 golden: Optional[ExecutionTrace] = None,
+                 max_blocks: int = 1_000_000):
+        self.config = config or default_config()
+        self.config.validate()
+        program.validate()
+        self.program = program
+        self.initial_regs = dict(initial_regs or {})
+
+        needs_golden = (self.config.check_with_golden
+                        or self.config.dependence_policy == "oracle"
+                        or self.config.next_block_predictor == "perfect")
+        if golden is None and needs_golden:
+            golden, _ = run_program(program, self.initial_regs, max_blocks)
+        self.golden = golden
+
+        self.arch = ArchState.for_program(program, self.initial_regs)
+        self.dcache = build_hierarchy(self.config)
+        self.icache = BlockCache(self.config.icache_entries,
+                                 self.config.icache_miss_penalty)
+        self.network = OperandNetwork(self.config)
+        self.policy = build_policy(self.config, golden)
+        self.lsq = LoadStoreQueue(self.arch.memory, self.dcache, self.policy,
+                                  self.config.lsq_forward_latency,
+                                  self.config.recovery)
+        self.predictor = build_predictor(self.config, golden)
+        self.tiles = [ExecTile(i, self.config.tile_coord(i),
+                               self.config.issue_width_per_tile)
+                      for i in range(self.config.n_tiles)]
+
+        self.frames: List[Frame] = []            # oldest first
+        self.frames_by_uid: Dict[int, Frame] = {}
+        self.next_uid = 0
+
+        self.fetch_seq = 0
+        self.fetch_target: str = program.entry
+        self.fetch_inflight: Optional[Tuple[str, int]] = None
+
+        self.cycle = 0
+        self.commit_ready_cycle = 0
+        self.last_commit_cycle = 0
+        self.done = False
+        self.stats = SimStats()
+
+    # ==================================================================
+    # Main loop
+    # ==================================================================
+
+    def run(self) -> SimResult:
+        """Simulate until the program halts; returns the result bundle."""
+        while not self.done:
+            self._advance_cycle()
+            self.lsq.now = self.cycle
+            self._deliver_messages()
+            self._tick_tiles()
+            self._tick_fetch()
+            self._tick_commit()
+            self._check_progress()
+        self.stats.cycles = self.cycle
+        return SimResult(self.stats, self.config, self.arch,
+                         self.lsq.stats, self.network.stats,
+                         self.dcache.stats, self.predictor.stats,
+                         halted=True)
+
+    def _advance_cycle(self) -> None:
+        nxt = self._next_event_cycle()
+        if nxt is not None and nxt > self.cycle + 1:
+            self.cycle = nxt
+        else:
+            self.cycle += 1
+
+    def _next_event_cycle(self) -> Optional[int]:
+        candidates: List[int] = []
+        net = self.network.next_event_cycle()
+        if net is not None:
+            candidates.append(net)
+        for tile in self.tiles:
+            if tile.has_ready:
+                return self.cycle + 1
+            completion = tile.next_completion()
+            if completion is not None:
+                candidates.append(completion)
+        if self.fetch_inflight is not None:
+            if len(self.frames) < self.config.max_frames:
+                candidates.append(self.fetch_inflight[1])
+        elif self.fetch_target != HALT_LABEL \
+                and len(self.frames) < self.config.max_frames:
+            return self.cycle + 1
+        if self.frames and self.commit_ready_cycle > self.cycle:
+            candidates.append(self.commit_ready_cycle)
+        return min(candidates) if candidates else None
+
+    def _check_progress(self) -> None:
+        if self.cycle > self.config.max_cycles:
+            raise SimulationError(
+                f"exceeded max_cycles={self.config.max_cycles}")
+        if self.cycle - self.last_commit_cycle > self.config.watchdog_cycles:
+            raise SimulationError(
+                f"no commit for {self.config.watchdog_cycles} cycles; "
+                f"likely deadlock\n{self._debug_dump()}")
+        if self.done:
+            return
+        if (not self.frames and self.fetch_inflight is None
+                and self.fetch_target == HALT_LABEL):
+            self.done = True
+        if (self._next_event_cycle() is None and not self.done):
+            raise SimulationError(
+                f"no pending events but not halted\n{self._debug_dump()}")
+
+    def _debug_dump(self) -> str:
+        lines = [f"cycle={self.cycle} frames={len(self.frames)} "
+                 f"fetch_target={self.fetch_target!r} "
+                 f"inflight={self.fetch_inflight}"]
+        for frame in self.frames[:4]:
+            lines.append(f"  {frame!r} branch={frame.branch_label!r} "
+                         f"branch_final={frame.branch_buffer.is_final()} "
+                         f"mem_final={self.lsq.frame_mem_final(frame.uid)}")
+            for node in frame.nodes:
+                if not node.final_emitted:
+                    resolved = {s.name: b.effective.status.value
+                                for s, b in node.buffers.items()}
+                    lines.append(
+                        f"    I{node.index} {node.inst.opcode.value} "
+                        f"exec={node.exec_count} state={node.state.value} "
+                        f"slots={resolved}")
+        return "\n".join(lines)
+
+    # ==================================================================
+    # Message delivery
+    # ==================================================================
+
+    def _deliver_messages(self) -> None:
+        for msg in self.network.deliver_due(self.cycle):
+            if msg.kind is MsgKind.TOKEN:
+                self._deliver_token(msg.payload)
+            elif msg.kind is MsgKind.LOAD_REQ:
+                self._deliver_load_req(msg.payload)
+            elif msg.kind is MsgKind.STORE_UPD:
+                self._deliver_store_upd(msg.payload)
+            elif msg.kind is MsgKind.LOAD_RESP:
+                self._deliver_load_resp(msg.payload)
+            elif msg.kind is MsgKind.REG_FWD:
+                self._deliver_reg_fwd(msg.payload)
+
+    def _deliver_token(self, token: Token) -> None:
+        frame = self.frames_by_uid.get(token.frame_uid)
+        if frame is None:
+            return
+        kind = token.dest[0]
+        if kind == "inst":
+            node = frame.nodes[token.dest[1]]
+            if node.deposit(token):
+                self._on_node_event(frame, node)
+        elif kind == "write":
+            self._deposit_write(frame, token)
+        else:  # branch
+            self._deposit_branch(frame, token)
+
+    def _deliver_load_req(self, payload) -> None:
+        if isinstance(payload, _NullLoadMarker):
+            inner = payload.payload
+            if inner.frame_uid not in self.frames_by_uid:
+                return
+            self._process_lsq_actions(self.lsq.load_null(
+                inner.frame_uid, inner.lsid, inner.wave, inner.final))
+            return
+        if payload.frame_uid not in self.frames_by_uid:
+            return
+        actions = self.lsq.load_request(payload.frame_uid, payload.lsid,
+                                        payload.addr, payload.wave,
+                                        payload.final)
+        self._process_lsq_actions(actions)
+
+    def _deliver_store_upd(self, payload: StoreUpdPayload) -> None:
+        if payload.frame_uid not in self.frames_by_uid:
+            return
+        actions = self.lsq.store_update(
+            payload.frame_uid, payload.lsid, payload.addr, payload.value,
+            payload.wave, payload.final, null=payload.null,
+            addr_final=payload.addr_final)
+        self._process_lsq_actions(actions)
+
+    def _deliver_load_resp(self, payload: LoadRespPayload) -> None:
+        frame = self.frames_by_uid.get(payload.frame_uid)
+        if frame is None:
+            return
+        node = frame.nodes[payload.inst_index]
+        if payload.is_redelivery:
+            self.stats.load_redeliveries += 1
+            self.stats.dependence_mispeculations += 1
+        plan = node.plan_emission(payload.value, payload.final)
+        if plan is not None:
+            wave, value, final = plan
+            self._send_tokens(frame, node.index, node.inst.targets,
+                              ("inst", node.index), wave, value, final)
+
+    def _deliver_reg_fwd(self, payload: RegFwdPayload) -> None:
+        frame = self.frames_by_uid.get(payload.frame_uid)
+        if frame is None:
+            return
+        fwd = frame.read_forwards[payload.read_index]
+        if payload.wave < fwd.wave:
+            return
+        if payload.wave == fwd.wave and payload.value == fwd.value:
+            if fwd.final or not payload.final:
+                return
+            fwd.final = True        # pure finality upgrade
+        else:
+            fwd.wave, fwd.value, fwd.final = (
+                payload.wave, payload.value, payload.final)
+        read = frame.block.reads[payload.read_index]
+        self._send_tokens(frame, None, read.targets,
+                          ("read", payload.read_index),
+                          payload.wave, payload.value, payload.final)
+
+    # ==================================================================
+    # Token plumbing
+    # ==================================================================
+
+    def _coord_of_target(self, target: Target):
+        if target.kind is TargetKind.WRITE:
+            return self.config.control_coord
+        tile = self.config.tile_of_instruction(target.index)
+        return self.config.tile_coord(tile)
+
+    def _src_coord(self, inst_index: Optional[int]):
+        if inst_index is None:
+            return self.config.control_coord
+        return self.config.tile_coord(
+            self.config.tile_of_instruction(inst_index))
+
+    def _send_tokens(self, frame: Frame, src_index: Optional[int],
+                     targets, producer, wave: int, value, final: bool
+                     ) -> None:
+        src = self._src_coord(src_index)
+        for target in targets:
+            if target.kind is TargetKind.WRITE:
+                dest_key = write_dest(target.index)
+            else:
+                dest_key = inst_dest(target.index, target.slot)
+            token = Token(frame.uid, dest_key, producer, wave, value, final)
+            if value is None:
+                self.network.stats.null_sent += 1
+            self.network.send(src, Message(MsgKind.TOKEN,
+                                           self._coord_of_target(target),
+                                           token, final))
+
+    def _send_branch_token(self, frame: Frame, node: InstructionNode,
+                           wave: int, value, final: bool) -> None:
+        token = Token(frame.uid, BRANCH_DEST, ("inst", node.index),
+                      wave, value, final)
+        self.network.send(self._src_coord(node.index),
+                          Message(MsgKind.TOKEN, self.config.control_coord,
+                                  token, final))
+
+    # ==================================================================
+    # Node lifecycle
+    # ==================================================================
+
+    def _enqueue(self, frame: Frame, node: InstructionNode) -> None:
+        tile = self.tiles[self.config.tile_of_instruction(node.index)]
+        tile.enqueue(frame.seq, node)
+
+    def _on_node_event(self, frame: Frame, node: InstructionNode) -> None:
+        """An input changed: re-issue if needed, else maybe finalise.
+
+        Finality-upgrade traffic (the explicit commit wave) only exists
+        under DSRE; flush machines have no use for it.
+        """
+        if node.can_issue():
+            self._enqueue(frame, node)
+            return
+        if self.config.recovery != "dsre":
+            return
+        if (node.state is NodeState.IDLE and node.exec_count > 0
+                and node.output_final_ready()):
+            self._emit_node_output(frame, node, node.last_outcome,
+                                   final=True)
+        elif (node.inst.is_store and node.last_outcome is not None
+              and node.last_outcome.kind is OutcomeKind.STORE_UPDATE
+              and node.addr_inputs_final()):
+            # Address-only finality: lets the LSQ disambiguate this store
+            # against non-overlapping loads before its data commits.
+            self._send_store_upd(frame, node, node.last_outcome.addr,
+                                 node.last_outcome.store_value,
+                                 null=False, final=False, addr_final=True)
+
+    def _tick_tiles(self) -> None:
+        latency_fn = self._node_latency
+        alive_fn = self.frames_by_uid.__contains__
+        for tile in self.tiles:
+            for node in tile.pop_completed(self.cycle):
+                frame = self.frames_by_uid.get(node.frame_uid)
+                if frame is None:
+                    continue
+                outcome = node.complete_execution()
+                self.stats.executions += 1
+                if node.exec_count > 1:
+                    self.stats.reexecutions += 1
+                final = node.output_final_ready()
+                self._emit_node_output(frame, node, outcome, final)
+                if node.needs_reissue():
+                    self._enqueue(frame, node)
+            tile.issue_ready(self.cycle, latency_fn, alive_fn)
+
+    def _node_latency(self, node: InstructionNode) -> int:
+        from ..isa.opcodes import op_info
+        return self.config.fu_latencies[op_info(node.inst.opcode).op_class]
+
+    def _emit_node_output(self, frame: Frame, node: InstructionNode,
+                          outcome: Optional[Outcome], final: bool) -> None:
+        """Route one execution's outcome (or a finality upgrade) outward."""
+        if outcome is None:
+            return
+        inst = node.inst
+        if outcome.kind is OutcomeKind.VALUE:
+            plan = node.plan_emission(outcome.value, final)
+            if plan is not None:
+                wave, value, fin = plan
+                self._send_tokens(frame, node.index, inst.targets,
+                                  ("inst", node.index), wave, value, fin)
+        elif outcome.kind is OutcomeKind.BRANCH:
+            plan = node.plan_emission(outcome.value, final)
+            if plan is not None:
+                wave, value, fin = plan
+                self._send_branch_token(frame, node, wave, value, fin)
+        elif outcome.kind is OutcomeKind.LOAD_REQUEST:
+            self._send_load_req(frame, node, outcome.addr, final)
+        elif outcome.kind is OutcomeKind.STORE_UPDATE:
+            self._send_store_upd(frame, node, outcome.addr,
+                                 outcome.store_value, null=False, final=final,
+                                 addr_final=node.addr_inputs_final())
+        elif outcome.kind is OutcomeKind.NULL:
+            if inst.is_store:
+                self._send_store_upd(frame, node, None, None,
+                                     null=True, final=final)
+            elif inst.is_branch:
+                plan = node.plan_emission(None, final)
+                if plan is not None:
+                    wave, value, fin = plan
+                    self._send_branch_token(frame, node, wave, None, fin)
+            else:
+                plan = node.plan_emission(None, final)
+                if plan is not None:
+                    wave, value, fin = plan
+                    self._send_tokens(frame, node.index, inst.targets,
+                                      ("inst", node.index), wave, None, fin)
+                if inst.is_load:
+                    self._send_load_null(frame, node, final)
+
+    def _send_load_req(self, frame: Frame, node: InstructionNode,
+                       addr: int, final: bool) -> None:
+        key = ("req", addr, final)
+        if node.last_lsq == key:
+            return
+        node.last_lsq = key
+        payload = LoadReqPayload(frame.uid, node.inst.lsid, addr,
+                                 node.exec_count, final)
+        self.network.send(self._src_coord(node.index),
+                          Message(MsgKind.LOAD_REQ, self.config.lsq_coord,
+                                  payload, final))
+
+    def _send_store_upd(self, frame: Frame, node: InstructionNode,
+                        addr: Optional[int], value: Optional[int],
+                        null: bool, final: bool,
+                        addr_final: bool = False) -> None:
+        key = ("upd", addr, value, null, final, addr_final or final)
+        if node.last_lsq == key:
+            return
+        node.last_lsq = key
+        payload = StoreUpdPayload(frame.uid, node.inst.lsid, addr, value,
+                                  node.exec_count, final, null,
+                                  addr_final or final)
+        self.network.send(self._src_coord(node.index),
+                          Message(MsgKind.STORE_UPD, self.config.lsq_coord,
+                                  payload, final))
+
+    def _send_load_null(self, frame: Frame, node: InstructionNode,
+                        final: bool) -> None:
+        key = ("null", final)
+        if node.last_lsq == key:
+            return
+        node.last_lsq = key
+        payload = StoreUpdPayload(frame.uid, node.inst.lsid, None, None,
+                                  node.exec_count, final, True)
+        # Null loads share the store-update channel: the LSQ only needs the
+        # (lsid, wave, final) bookkeeping.
+        self.network.send(self._src_coord(node.index),
+                          Message(MsgKind.LOAD_REQ, self.config.lsq_coord,
+                                  _NullLoadMarker(payload), final))
+
+    # ==================================================================
+    # Write-slot and branch-unit handling
+    # ==================================================================
+
+    def _deposit_write(self, frame: Frame, token: Token) -> None:
+        wi = token.dest[1]
+        buffer = frame.write_buffers[wi]
+        changed, finality = buffer.deposit(token)
+        if not (changed or finality):
+            return
+        eff = buffer.effective
+        if eff.value is None:
+            return
+        state = (eff.value, buffer.is_final())
+        if frame.write_forwarded[wi] == state:
+            return
+        old = frame.write_forwarded[wi]
+        if old is None or old[0] != state[0]:
+            frame.write_fwd_wave[wi] += 1
+        frame.write_forwarded[wi] = state
+        for sub_uid, read_idx in frame.subscribers[wi]:
+            if sub_uid not in self.frames_by_uid:
+                continue
+            payload = RegFwdPayload(sub_uid, read_idx, state[0],
+                                    frame.write_fwd_wave[wi], state[1])
+            self.network.send(self.config.control_coord,
+                              Message(MsgKind.REG_FWD,
+                                      self.config.control_coord,
+                                      payload, state[1]))
+
+    def _deposit_branch(self, frame: Frame, token: Token) -> None:
+        changed, finality = frame.branch_buffer.deposit(token)
+        if not (changed or finality):
+            return
+        label = frame.branch_label
+        if label is None:
+            return
+        self._resolve_branch(frame, label, wave=token.wave)
+
+    def _resolve_branch(self, frame: Frame, label: str, wave: int) -> None:
+        is_last = self.frames and self.frames[-1] is frame
+        if not is_last and frame.fetched_next is not None \
+                and frame.fetched_next != label:
+            self.stats.branch_redirects += 1
+            if wave > 1:
+                self.stats.late_branch_redirects += 1
+            self._flush_from(frame.seq + 1, label, cause="branch")
+        elif is_last:
+            if self.fetch_seq == frame.seq + 1 and self.fetch_target != label:
+                self.stats.branch_redirects += 1
+                if wave > 1:
+                    self.stats.late_branch_redirects += 1
+                self.fetch_target = label
+                self.fetch_inflight = None
+
+    # ==================================================================
+    # LSQ interface
+    # ==================================================================
+
+    def _process_lsq_actions(self, actions) -> None:
+        for action in actions:
+            if isinstance(action, LoadResponse):
+                frame = self.frames_by_uid.get(action.entry.frame_uid)
+                if frame is None:
+                    continue
+                node = frame.node_of_lsid(action.entry.lsid)
+                payload = LoadRespPayload(frame.uid, node.index,
+                                          action.value, action.final,
+                                          action.is_redelivery)
+                self.network.send(
+                    self.config.lsq_coord,
+                    Message(MsgKind.LOAD_RESP,
+                            self._src_coord(node.index), payload,
+                            action.final),
+                    extra_latency=action.latency)
+            elif isinstance(action, Confirmed):
+                frame = self.frames_by_uid.get(action.entry.frame_uid)
+                if frame is None:
+                    continue
+                node = frame.node_of_lsid(action.entry.lsid)
+                payload = LoadRespPayload(frame.uid, node.index,
+                                          action.value, True, False)
+                self.network.send(
+                    self.config.lsq_coord,
+                    Message(MsgKind.LOAD_RESP,
+                            self._src_coord(node.index), payload, True),
+                    extra_latency=action.latency)
+            elif isinstance(action, Violation):
+                # Wait bit first: even when this frame was already squashed
+                # by an earlier violation in the same batch, its refetched
+                # instance must wait, or batches of violating loads would
+                # take turns mis-speculating forever.
+                self.lsq.poison(action.load.seq, action.load.static_id)
+                self.stats.dependence_mispeculations += 1
+                frame = self.frames_by_uid.get(action.load.frame_uid)
+                if frame is None:
+                    continue
+                self.stats.violation_flushes += 1
+                self._flush_from(frame.seq, frame.block.name,
+                                 cause="violation")
+            else:
+                raise SimulationError(f"unknown LSQ action {action!r}")
+
+    # ==================================================================
+    # Fetch / map
+    # ==================================================================
+
+    def _tick_fetch(self) -> None:
+        if self.fetch_inflight is not None:
+            name, ready = self.fetch_inflight
+            if self.cycle >= ready:
+                if len(self.frames) < self.config.max_frames:
+                    self.fetch_inflight = None
+                    self._map_frame(name)
+                else:
+                    self.stats.fetch_stall_cycles += 1
+            return
+        if (self.fetch_target != HALT_LABEL
+                and len(self.frames) < self.config.max_frames):
+            penalty = self.config.block_fetch_cycles \
+                + self.icache.access(self.fetch_target)
+            self.fetch_inflight = (self.fetch_target, self.cycle + penalty)
+
+    def _map_frame(self, name: str) -> None:
+        block = self.program.block(name)
+        uid = self.next_uid
+        self.next_uid += 1
+        seq = self.fetch_seq
+        self.fetch_seq += 1
+        frame = Frame(uid, seq, block, self.config)
+        frame.mapped_cycle = self.cycle
+        if self.frames:
+            self.frames[-1].fetched_next = name
+        self.frames.append(frame)
+        self.frames_by_uid[uid] = frame
+        self.lsq.register_frame(uid, seq, block)
+        self.stats.frames_mapped += 1
+        self.stats.occupancy_samples += 1
+        self.stats.occupancy_total += len(self.frames)
+
+        for node in frame.nodes:
+            if node.can_issue():
+                self._enqueue(frame, node)
+
+        self._wire_reads(frame)
+
+        predicted = self.predictor.predict(block, seq)
+        frame.predicted_next = predicted
+        self.fetch_target = predicted
+        # If this block's own (older) frames already resolved a different
+        # successor, _resolve_branch will redirect when their token arrives;
+        # nothing else to do here.
+
+    def _wire_reads(self, frame: Frame) -> None:
+        for ri, read in enumerate(frame.block.reads):
+            source = None
+            for older in reversed(self.frames[:-1]):
+                wi = older.write_index_of_reg.get(read.reg)
+                if wi is not None:
+                    source = (older, wi)
+                    break
+            frame.read_sources.append(
+                ("frame", source[0].uid, source[1]) if source
+                else ("arch", self.arch.get_reg(read.reg)))
+            if source is None:
+                fwd = frame.read_forwards[ri]
+                fwd.wave, fwd.value, fwd.final = (
+                    1, self.arch.get_reg(read.reg), True)
+                self._send_tokens(frame, None, read.targets, ("read", ri),
+                                  1, fwd.value, True)
+            else:
+                older, wi = source
+                older.subscribers[wi].append((frame.uid, ri))
+                forwarded = older.write_forwarded[wi]
+                if forwarded is not None:
+                    payload = RegFwdPayload(frame.uid, ri, forwarded[0],
+                                            older.write_fwd_wave[wi],
+                                            forwarded[1])
+                    self.network.send(self.config.control_coord,
+                                      Message(MsgKind.REG_FWD,
+                                              self.config.control_coord,
+                                              payload, forwarded[1]))
+
+    # ==================================================================
+    # Flush (both branch redirects and flush-mode violations)
+    # ==================================================================
+
+    def _flush_from(self, seq: int, restart: str, cause: str) -> None:
+        victims = [f for f in self.frames if f.seq >= seq]
+        if not victims and cause == "violation":
+            raise SimulationError("violation flush with no victim frames")
+        dead = set()
+        for frame in victims:
+            dead.add(frame.uid)
+            self.stats.squashed_executions += frame.total_executions()
+            self.stats.squashed_instructions += len(frame.nodes)
+            self.lsq.drop_frame(frame.uid)
+            self.frames_by_uid.pop(frame.uid)
+        self.stats.squashed_frames += len(victims)
+        self.frames = [f for f in self.frames if f.uid not in dead]
+        for frame in self.frames:
+            for subs in frame.subscribers:
+                subs[:] = [(u, ri) for u, ri in subs if u not in dead]
+        if self.frames:
+            self.frames[-1].fetched_next = None
+        self.fetch_seq = seq
+        self.fetch_target = restart
+        self.fetch_inflight = None
+
+    # ==================================================================
+    # Commit
+    # ==================================================================
+
+    def _tick_commit(self) -> None:
+        if not self.frames or self.cycle < self.commit_ready_cycle:
+            return
+        head = self.frames[0]
+        if self.config.recovery == "dsre":
+            if not head.outputs_final():
+                return
+        elif not head.outputs_produced():
+            return
+        if not self.lsq.frame_mem_final(head.uid):
+            return
+        self._commit(head)
+
+    def _commit(self, head: Frame) -> None:
+        label = head.branch_label
+        stores = self.lsq.commit_frame(head.uid)
+        reg_writes = head.final_reg_writes()
+
+        if self.golden is not None and self.config.check_with_golden:
+            self._check_against_golden(head, label, reg_writes, stores)
+
+        for addr, value, width in stores:
+            self.arch.memory.write_int(addr, value, width)
+            self.dcache.access(addr, is_write=True)
+        for reg, value in reg_writes.items():
+            self.arch.set_reg(reg, value)
+
+        drain = math.ceil(len(stores) / self.config.commit_store_bandwidth) \
+            if stores else 0
+        self.commit_ready_cycle = self.cycle + max(1, drain)
+
+        self.predictor.update(head.block, head.seq, label,
+                              head.predicted_next)
+
+        useful = head.useful_instructions()
+        self.stats.committed_blocks += 1
+        self.stats.committed_instructions += useful
+        self.stats.committed_nulls += len(head.nodes) - useful
+        self.last_commit_cycle = self.cycle
+
+        self.frames.pop(0)
+        self.frames_by_uid.pop(head.uid)
+
+        if label == HALT_LABEL:
+            if self.frames:
+                raise SimulationError(
+                    "committed a HALT block with younger frames in flight")
+            self.fetch_target = HALT_LABEL
+            self.fetch_inflight = None
+            self.done = True
+
+    def _check_against_golden(self, head: Frame, label: str,
+                              reg_writes: Dict[int, int],
+                              stores) -> None:
+        if head.seq >= len(self.golden.records):
+            raise GoldenMismatchError(
+                f"committed more blocks ({head.seq + 1}) than the golden "
+                f"run ({len(self.golden.records)})")
+        record = self.golden.records[head.seq]
+        problems = []
+        if record.name != head.block.name:
+            problems.append(f"block {head.block.name!r} != {record.name!r}")
+        if record.next_block != label:
+            problems.append(f"next {label!r} != {record.next_block!r}")
+        if record.reg_writes != reg_writes:
+            problems.append(
+                f"reg writes {reg_writes} != {record.reg_writes}")
+        golden_stores = [(s.addr, s.value, s.width) for s in record.stores]
+        if golden_stores != list(stores):
+            problems.append(f"stores {stores} != {golden_stores}")
+        if problems:
+            raise GoldenMismatchError(
+                f"commit {head.seq} ({head.block.name}): "
+                + "; ".join(problems))
+
+
+class _NullLoadMarker:
+    """Wrapper distinguishing a null-load notice on the LOAD_REQ channel."""
+
+    def __init__(self, payload: StoreUpdPayload):
+        self.payload = payload

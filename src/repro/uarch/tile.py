@@ -1,0 +1,83 @@
+"""Execution tiles.
+
+Each tile owns the instructions statically mapped to it (from every
+in-flight frame), issues up to ``issue_width_per_tile`` ready nodes per
+cycle — oldest frame first, which guarantees forward progress for the
+commit wave — and models functional-unit occupancy.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from ..core.node import InstructionNode
+from .config import Coord
+
+
+class ExecTile:
+    """One ALU tile of the grid."""
+
+    def __init__(self, index: int, coord: Coord, issue_width: int):
+        self.index = index
+        self.coord = coord
+        self.issue_width = issue_width
+        #: Min-heap of (frame_seq, inst_index, push_seq) -> node candidates.
+        self._ready: List[Tuple[int, int, int, InstructionNode]] = []
+        self._push_seq = 0
+        self._queued: set = set()
+        #: Min-heap of (completion_cycle, push_seq, frame_seq) -> node.
+        self._executing: List[Tuple[int, int, InstructionNode]] = []
+
+    # ------------------------------------------------------------------
+
+    def enqueue(self, seq: int, node: InstructionNode) -> None:
+        """Offer a node for (re-)issue; duplicates are coalesced."""
+        key = (node.frame_uid, node.index)
+        if key in self._queued:
+            return
+        self._queued.add(key)
+        self._push_seq += 1
+        heapq.heappush(self._ready, (seq, node.index, self._push_seq, node))
+
+    def issue_ready(self, now: int, latency_fn,
+                    alive_fn) -> List[InstructionNode]:
+        """Issue up to ``issue_width`` nodes; returns the issued nodes.
+
+        ``latency_fn(node) -> int`` gives the FU latency;
+        ``alive_fn(frame_uid) -> bool`` filters nodes of squashed frames.
+        """
+        issued: List[InstructionNode] = []
+        while self._ready and len(issued) < self.issue_width:
+            seq, idx, push, node = heapq.heappop(self._ready)
+            self._queued.discard((node.frame_uid, node.index))
+            if not alive_fn(node.frame_uid):
+                continue
+            if not node.can_issue():
+                continue
+            node.begin_execution()
+            done = now + latency_fn(node)
+            self._push_seq += 1
+            heapq.heappush(self._executing, (done, self._push_seq, node))
+            issued.append(node)
+        return issued
+
+    def pop_completed(self, now: int) -> List[InstructionNode]:
+        """Nodes whose FU pass finishes at or before ``now``."""
+        done: List[InstructionNode] = []
+        while self._executing and self._executing[0][0] <= now:
+            done.append(heapq.heappop(self._executing)[2])
+        return done
+
+    # ------------------------------------------------------------------
+
+    def next_completion(self) -> Optional[int]:
+        return self._executing[0][0] if self._executing else None
+
+    @property
+    def has_ready(self) -> bool:
+        return bool(self._ready)
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._ready or self._executing)

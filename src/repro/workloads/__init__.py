@@ -1,0 +1,12 @@
+"""Workloads: the kernel suite and the synthetic conflict-rate generator."""
+
+from .common import KernelInstance, KernelSpec
+from .registry import (KERNELS, build_kernel, get_kernel, kernel_names,
+                       kernels_in_category)
+from .synth import SynthParams, build_synthetic
+
+__all__ = [
+    "KERNELS", "KernelInstance", "KernelSpec", "SynthParams",
+    "build_kernel", "build_synthetic", "get_kernel", "kernel_names",
+    "kernels_in_category",
+]

@@ -1,0 +1,90 @@
+"""Shared workload scaffolding.
+
+A *kernel* is a small program written against the EDGE builder DSL together
+with a pure-Python reference implementation.  Each build produces a
+:class:`KernelInstance` carrying the program, its initial registers, and the
+expected final architectural state — so every kernel is self-checking under
+both the functional interpreter and the timing simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from ..arch.state import ArchState
+from ..isa.program import Program
+
+#: Standard data-region bases, spaced far apart so kernels never collide.
+REGION_A = 0x1_0000
+REGION_B = 0x2_0000
+REGION_C = 0x3_0000
+REGION_D = 0x4_0000
+
+#: Register conventions used by all kernels.
+REG_I = 1          # loop counter
+REG_ACC = 2        # primary result / checksum
+REG_PTR = 3        # pointer-chasing cursor
+REG_TMP = 4
+
+
+@dataclass
+class KernelInstance:
+    """One built kernel: program + expected final state."""
+
+    name: str
+    program: Program
+    initial_regs: Dict[int, int] = field(default_factory=dict)
+    expected_regs: Dict[int, int] = field(default_factory=dict)
+    expected_mem_words: Dict[int, int] = field(default_factory=dict)
+    #: Roughly how many dynamic blocks the kernel executes (for harness ETA).
+    approx_blocks: int = 0
+
+    def check(self, state: ArchState) -> List[str]:
+        """Compare a final architectural state against the expectations."""
+        problems = []
+        for reg, want in sorted(self.expected_regs.items()):
+            got = state.get_reg(reg)
+            if got != want:
+                problems.append(f"R{reg} = {got}, expected {want}")
+        for addr, want in sorted(self.expected_mem_words.items()):
+            got = state.memory.read_word(addr)
+            if got != want:
+                problems.append(
+                    f"mem[{addr:#x}] = {got}, expected {want}")
+        return problems
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Registry entry: how to build a kernel at a given scale."""
+
+    name: str
+    category: str              # streaming | pointer | irregular | serial
+    description: str
+    build: Callable[[int], KernelInstance]
+    default_scale: int         # used by the benchmark harness
+    test_scale: int            # used by the test suite (fast)
+
+    def build_default(self) -> KernelInstance:
+        return self.build(self.default_scale)
+
+    def build_test(self) -> KernelInstance:
+        return self.build(self.test_scale)
+
+
+def mask64(value: int) -> int:
+    return value & ((1 << 64) - 1)
+
+
+def lcg(seed: int):
+    """A tiny deterministic PRNG (64-bit LCG) shared by kernels and their
+    reference models; kernels must not depend on Python's ``random``."""
+    state = mask64(seed or 1)
+
+    def next_value() -> int:
+        nonlocal state
+        state = mask64(state * 6364136223846793005 + 1442695040888963407)
+        return state >> 16
+
+    return next_value

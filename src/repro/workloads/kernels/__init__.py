@@ -1,0 +1,13 @@
+"""The kernel suite (the reproduction's SPEC-CPU stand-in)."""
+
+from . import (bubble, crc, dotprod, fibmem, hashins, histogram, listrev,
+               listsum, memaccum, memcpy, memmove, queue, stencil, vecsum)
+
+ALL_SPECS = [
+    vecsum.SPEC, dotprod.SPEC, memcpy.SPEC, crc.SPEC,          # streaming
+    listsum.SPEC, listrev.SPEC,                                # pointer
+    histogram.SPEC, hashins.SPEC, bubble.SPEC, queue.SPEC,     # irregular
+    stencil.SPEC, fibmem.SPEC, memaccum.SPEC, memmove.SPEC,    # serial
+]
+
+__all__ = ["ALL_SPECS"]

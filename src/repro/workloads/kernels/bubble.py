@@ -1,0 +1,91 @@
+"""bubble — bubble sort with unconditional min/max stores.
+
+The inner compare-and-swap always stores ``min`` to ``a[j]`` and ``max`` to
+``a[j+1]``: on already-ordered pairs both stores are *silent* (same value).
+Each iteration's load of ``a[j]`` aliases the previous iteration's store of
+``a[j]`` — an address dependence on every block whose value changes only
+when a swap actually moved data.  DSRE's value-based re-delivery turns the
+silent majority into free speculation, while an address-based predictor
+serialises everything; on nearly-sorted input the gap is dramatic.
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ..common import KernelInstance, KernelSpec, REGION_A, REG_I, REG_TMP, lcg
+
+
+def _input(n: int, disorder: int) -> list:
+    """A mostly-sorted array with ``disorder`` displaced pairs."""
+    data = [10 * k for k in range(n)]
+    rand = lcg(0xB0BB1E)
+    for _ in range(disorder):
+        i = rand() % n
+        j = rand() % n
+        data[i], data[j] = data[j], data[i]
+    return data
+
+
+def build(scale: int) -> KernelInstance:
+    n = scale
+    data = _input(n, disorder=max(1, n // 8))
+
+    pb = ProgramBuilder(entry="init")
+    b = pb.block("init")
+    b.write(REG_I, b.movi(0))          # outer pass counter
+    b.branch("outer")
+
+    b = pb.block("outer")
+    i = b.read(REG_I)
+    b.write(REG_TMP, b.movi(0))        # inner index j
+    b.branch("inner")
+
+    b = pb.block("inner")
+    i = b.read(REG_I)
+    j = b.read(REG_TMP)
+    base = b.const(REGION_A)
+    addr = b.add(base, b.shl(j, imm=3))
+    v0 = b.load(addr)
+    v1 = b.load(addr, offset=8)
+    swap = b.tgt(v0, v1)
+    lo = b.select(swap, v1, v0)
+    hi = b.select(swap, v0, v1)
+    b.store(addr, lo)
+    b.store(addr, hi, offset=8)
+    j2 = b.add(j, imm=1)
+    b.write(REG_TMP, j2)
+    # inner runs j = 0 .. n-2-i
+    limit = b.sub(b.const(n - 1), i)
+    more = b.tlt(j2, limit)
+    b.branch("inner", pred=(more, True))
+    b.branch("next_pass", pred=(more, False))
+
+    b = pb.block("next_pass")
+    i = b.read(REG_I)
+    i2 = b.add(i, imm=1)
+    b.write(REG_I, i2)
+    b.branch_if(b.tlt(i2, imm=n - 1), "outer", "@halt")
+
+    pb.data_words("a", REGION_A, data)
+    program = pb.build()
+
+    ref = sorted(data)
+    expected_mem = {REGION_A + 8 * k: v for k, v in enumerate(ref)}
+    blocks = 2 + sum(n - 1 - i + 1 for i in range(n - 1))
+    return KernelInstance(
+        name="bubble",
+        program=program,
+        expected_regs={REG_I: n - 1},
+        expected_mem_words=expected_mem,
+        approx_blocks=blocks,
+    )
+
+
+SPEC = KernelSpec(
+    name="bubble",
+    category="irregular",
+    description="bubble sort on nearly-sorted data; mostly-silent stores",
+    build=build,
+    default_scale=24,
+    test_scale=8,
+)

@@ -1,0 +1,59 @@
+"""crc — FNV-style rolling checksum over an array.
+
+Pure streaming loads feeding a serial xor-multiply chain through a
+register.  No stores, low ILP: a control for experiments — differences
+between policies here indicate harness noise, not speculation effects.
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ..common import (KernelInstance, KernelSpec, REGION_A, REG_ACC, REG_I,
+                      lcg, mask64)
+
+_FNV_PRIME = 0x100000001B3
+_FNV_BASIS = 0xCBF29CE484222325
+
+
+def build(scale: int) -> KernelInstance:
+    n = scale
+    rand = lcg(0xC4C)
+    data = [rand() for _ in range(n)]
+
+    pb = ProgramBuilder(entry="init")
+    b = pb.block("init")
+    b.write(REG_I, b.movi(0))
+    b.write(REG_ACC, b.movi(_FNV_BASIS))
+    b.branch("loop")
+
+    b = pb.block("loop")
+    i = b.read(REG_I)
+    acc = b.read(REG_ACC)
+    v = b.load(b.add(b.const(REGION_A), b.shl(i, imm=3)))
+    b.write(REG_ACC, b.mul(b.xor(acc, v), imm=_FNV_PRIME))
+    i2 = b.add(i, imm=1)
+    b.write(REG_I, i2)
+    b.branch_if(b.tlt(i2, imm=n), "loop", "@halt")
+
+    pb.data_words("data", REGION_A, data)
+    program = pb.build()
+
+    acc = _FNV_BASIS
+    for v in data:
+        acc = mask64((acc ^ v) * _FNV_PRIME)
+    return KernelInstance(
+        name="crc",
+        program=program,
+        expected_regs={REG_ACC: acc, REG_I: n},
+        approx_blocks=n + 1,
+    )
+
+
+SPEC = KernelSpec(
+    name="crc",
+    category="streaming",
+    description="FNV rolling checksum; loads only, serial register chain",
+    build=build,
+    default_scale=500,
+    test_scale=24,
+)

@@ -1,0 +1,63 @@
+"""dotprod — two-array dot product, unrolled by two.
+
+Compute-heavy streaming: two loads and two multiplies per element pair,
+no stores at all, so memory speculation policy should barely matter.
+It anchors the "no conflicts" end of every comparison.
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ..common import (KernelInstance, KernelSpec, REGION_A, REGION_B,
+                      REG_ACC, REG_I, lcg, mask64)
+
+
+def build(scale: int) -> KernelInstance:
+    n = scale - (scale % 4)     # unrolled x4
+    rand = lcg(0xD07)
+    a = [rand() % 512 for _ in range(n)]
+    b_vals = [rand() % 512 for _ in range(n)]
+
+    pb = ProgramBuilder(entry="init")
+    blk = pb.block("init")
+    blk.write(REG_I, blk.movi(0))
+    blk.write(REG_ACC, blk.movi(0))
+    blk.branch("loop")
+
+    blk = pb.block("loop")
+    i = blk.read(REG_I)
+    acc = blk.read(REG_ACC)
+    off = blk.shl(i, imm=3)
+    addr_a = blk.add(blk.const(REGION_A), off)
+    addr_b = blk.add(blk.const(REGION_B), off)
+    total = acc
+    for k in range(4):
+        product = blk.mul(blk.load(addr_a, offset=8 * k),
+                          blk.load(addr_b, offset=8 * k))
+        total = blk.add(total, product)
+    blk.write(REG_ACC, total)
+    i2 = blk.add(i, imm=4)
+    blk.write(REG_I, i2)
+    blk.branch_if(blk.tlt(i2, imm=n), "loop", "@halt")
+
+    pb.data_words("a", REGION_A, a)
+    pb.data_words("b", REGION_B, b_vals)
+    program = pb.build()
+
+    expected = mask64(sum(x * y for x, y in zip(a, b_vals)))
+    return KernelInstance(
+        name="dotprod",
+        program=program,
+        expected_regs={REG_ACC: expected, REG_I: n},
+        approx_blocks=n // 4 + 1,
+    )
+
+
+SPEC = KernelSpec(
+    name="dotprod",
+    category="streaming",
+    description="dot product, unrolled x4; loads only, no conflicts",
+    build=build,
+    default_scale=600,
+    test_scale=24,
+)

@@ -1,0 +1,57 @@
+"""fibmem — Fibonacci through a memory table.
+
+``t[i] = t[i-1] + t[i-2]`` with the table in memory: loads hit stores made
+one and two blocks earlier.  A dependence predictor learns both pairs and
+serialises; the perfect oracle waits exactly as long as necessary; DSRE
+speculates and re-executes.  (Values wrap at 64 bits.)
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ..common import KernelInstance, KernelSpec, REGION_A, REG_I, mask64
+
+
+def build(scale: int) -> KernelInstance:
+    n = scale
+
+    pb = ProgramBuilder(entry="init")
+    b = pb.block("init")
+    b.write(REG_I, b.movi(2))
+    b.branch("loop")
+
+    b = pb.block("loop")
+    i = b.read(REG_I)
+    base = b.const(REGION_A)
+    addr = b.add(base, b.shl(i, imm=3))
+    f1 = b.load(addr, offset=-8)
+    f2 = b.load(addr, offset=-16)
+    b.store(addr, b.add(f1, f2))
+    i2 = b.add(i, imm=1)
+    b.write(REG_I, i2)
+    b.branch_if(b.tlt(i2, imm=n), "loop", "@halt")
+
+    pb.data_words("t", REGION_A, [1, 1] + [0] * (n - 2))
+    program = pb.build()
+
+    table = [1, 1] + [0] * (n - 2)
+    for i in range(2, n):
+        table[i] = mask64(table[i - 1] + table[i - 2])
+    expected_mem = {REGION_A + 8 * k: v for k, v in enumerate(table)}
+    return KernelInstance(
+        name="fibmem",
+        program=program,
+        expected_regs={REG_I: n},
+        expected_mem_words=expected_mem,
+        approx_blocks=n - 1,
+    )
+
+
+SPEC = KernelSpec(
+    name="fibmem",
+    category="serial",
+    description="Fibonacci via a memory table; distance-1 and -2 dependences",
+    build=build,
+    default_scale=300,
+    test_scale=16,
+)

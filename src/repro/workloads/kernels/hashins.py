@@ -1,0 +1,115 @@
+"""hashins — open-addressing hash-table insertion with linear probing.
+
+Each key hashes to a slot; occupied slots force further probes, and an
+insert stores the key into the table the *next* probe of a colliding key
+may load — irregular, data-dependent store-to-load conflicts plus
+data-dependent control flow (probe loop length varies).  This is the kind
+of sparse, unpredictable conflict pattern where a store-set predictor
+over-serialises (all table slots alias to one store set) and DSRE's
+per-instance recovery shines.
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ..common import (KernelInstance, KernelSpec, REGION_A, REGION_B,
+                      REG_ACC, REG_I, REG_TMP, lcg, mask64)
+
+_HASH_MULT = 0x9E3779B97F4A7C15
+
+
+def _hash_slot(key: int, table_bits: int) -> int:
+    return (mask64(key * _HASH_MULT) >> 32) & ((1 << table_bits) - 1)
+
+
+def build(scale: int) -> KernelInstance:
+    n = scale
+    table_bits = max(3, (n * 2 - 1).bit_length())
+    table_size = 1 << table_bits
+    rand = lcg(0x4A5A)
+    keys = []
+    seen = set()
+    while len(keys) < n:
+        key = (rand() % 100000) + 1
+        if key not in seen:
+            seen.add(key)
+            keys.append(key)
+
+    pb = ProgramBuilder(entry="init")
+    b = pb.block("init")
+    b.write(REG_I, b.movi(0))
+    b.write(REG_ACC, b.movi(0))           # probe counter (checksum)
+    b.branch("nextkey")
+
+    # Fetch key i, compute its home slot, enter the probe loop.
+    b = pb.block("nextkey")
+    i = b.read(REG_I)
+    key = b.load(b.add(b.const(REGION_B), b.shl(i, imm=3)))
+    h = b.mul(key, imm=_HASH_MULT)
+    slot = b.and_(b.shr(h, imm=32), imm=table_size - 1)
+    b.write(REG_TMP, slot)
+    b.write(5, key)                        # R5 carries the key to probing
+    b.branch("probe")
+
+    # Probe one slot: empty -> insert and advance key; full -> next slot.
+    b = pb.block("probe")
+    slot = b.read(REG_TMP)
+    key = b.read(5)
+    i = b.read(REG_I)
+    acc = b.read(REG_ACC)
+    addr = b.add(b.const(REGION_A), b.shl(slot, imm=3))
+    occupant = b.load(addr)
+    empty = b.teq(occupant, imm=0)
+    # Delay the inserted value (x1 multiplies preserve it) so a colliding
+    # probe in flight reads the slot before the insert resolves.
+    slow_key = b.mul(b.mul(key, imm=1), imm=1)
+    b.store(addr, slow_key, pred=empty)
+    nxt_slot = b.and_(b.add(slot, imm=1), imm=table_size - 1)
+    b.write(REG_TMP, b.select(empty, slot, nxt_slot))
+    i2 = b.add(i, imm=1)
+    b.write(REG_I, b.select(empty, i2, i))
+    b.write(REG_ACC, b.add(acc, imm=1))
+    done = b.tge(i2, imm=n)
+    all_done = b.and_(empty, done)
+    b.branch("@halt", pred=(all_done, True))
+    # If not all done: continue probing this key when occupied, else next key.
+    cont = b.teq(all_done, imm=0)
+    go_next = b.and_(empty, b.teq(done, imm=0))
+    b.branch("nextkey", pred=(b.and_(cont, go_next), True))
+    stay = b.teq(empty, imm=0)
+    b.branch("probe", pred=(b.and_(cont, stay), True))
+
+    pb.data_words("table", REGION_A, [0] * table_size)
+    pb.data_words("keys", REGION_B, keys)
+    program = pb.build()
+
+    # Reference model.
+    table = [0] * table_size
+    probes = 0
+    for key in keys:
+        slot = _hash_slot(key, table_bits)
+        while True:
+            probes += 1
+            if table[slot] == 0:
+                table[slot] = key
+                break
+            slot = (slot + 1) % table_size
+    expected_mem = {REGION_A + 8 * s: v
+                    for s, v in enumerate(table) if v}
+    return KernelInstance(
+        name="hashins",
+        program=program,
+        expected_regs={REG_I: n, REG_ACC: probes},
+        expected_mem_words=expected_mem,
+        approx_blocks=probes + n + 1,
+    )
+
+
+SPEC = KernelSpec(
+    name="hashins",
+    category="irregular",
+    description="hash-table inserts with linear probing; sparse conflicts",
+    build=build,
+    default_scale=200,
+    test_scale=16,
+)

@@ -1,0 +1,71 @@
+"""histogram — random-bin increments.
+
+Streams samples from one region and increments ``bins[sample & (B-1)]``
+via a load-add-store.  A conflict occurs exactly when the same bin repeats
+within the instruction window — a probabilistic, address-unpredictable
+pattern.  With a small bin count the store-set predictor rapidly merges
+every bin into one store set and serialises all increments; DSRE pays only
+for the true repeats.
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ..common import (KernelInstance, KernelSpec, REGION_A, REGION_B,
+                      REG_I, lcg)
+
+_DEFAULT_BINS = 16
+
+
+def build(scale: int, bins: int = _DEFAULT_BINS) -> KernelInstance:
+    n = scale
+    if bins & (bins - 1):
+        raise ValueError("bins must be a power of two")
+    rand = lcg(0x8157)
+    samples = [rand() % (1 << 32) for _ in range(n)]
+
+    pb = ProgramBuilder(entry="init")
+    b = pb.block("init")
+    b.write(REG_I, b.movi(0))
+    b.branch("loop")
+
+    b = pb.block("loop")
+    i = b.read(REG_I)
+    sample = b.load(b.add(b.const(REGION_B), b.shl(i, imm=3)))
+    bin_index = b.and_(sample, imm=bins - 1)
+    bin_addr = b.add(b.const(REGION_A), b.shl(bin_index, imm=3))
+    count = b.load(bin_addr)
+    # The increment runs through a dependent multiply chain (x1 each time,
+    # value-preserving) so the store's data resolves late: same-bin repeats
+    # within the window genuinely mis-speculate.
+    slow = b.mul(b.mul(b.mul(count, imm=1), imm=1), imm=1)
+    b.store(bin_addr, b.add(slow, imm=1))
+    i2 = b.add(i, imm=1)
+    b.write(REG_I, i2)
+    b.branch_if(b.tlt(i2, imm=n), "loop", "@halt")
+
+    pb.data_words("bins", REGION_A, [0] * bins)
+    pb.data_words("samples", REGION_B, samples)
+    program = pb.build()
+
+    counts = [0] * bins
+    for s in samples:
+        counts[s & (bins - 1)] += 1
+    expected_mem = {REGION_A + 8 * k: c for k, c in enumerate(counts) if c}
+    return KernelInstance(
+        name="histogram",
+        program=program,
+        expected_regs={REG_I: n},
+        expected_mem_words=expected_mem,
+        approx_blocks=n + 1,
+    )
+
+
+SPEC = KernelSpec(
+    name="histogram",
+    category="irregular",
+    description="random-bin increments; probabilistic same-bin conflicts",
+    build=build,
+    default_scale=300,
+    test_scale=20,
+)

@@ -1,0 +1,73 @@
+"""listrev — in-place linked-list reversal.
+
+Pointer chasing *with* stores: each block loads ``cur->next`` and then
+overwrites it with ``prev``.  The rewritten pointer is never re-read by the
+traversal, so the store traffic creates no true dependences — but the LSQ
+must keep proving that against a pointer stream it cannot predict.
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ..common import (KernelInstance, KernelSpec, REGION_A, REG_ACC,
+                      REG_PTR, lcg)
+
+_NODE_SIZE = 16   # [value, next]
+
+
+def build(scale: int) -> KernelInstance:
+    n = scale
+    rand = lcg(0x113EA)
+    order = list(range(n))
+    for i in range(n - 1, 0, -1):
+        j = rand() % (i + 1)
+        order[i], order[j] = order[j], order[i]
+    values = [rand() % 1000 for _ in range(n)]
+
+    def node_addr(k: int) -> int:
+        return REGION_A + _NODE_SIZE * order[k]
+
+    words = [0] * (2 * n)
+    for k in range(n):
+        slot = order[k]
+        words[2 * slot] = values[k]
+        words[2 * slot + 1] = node_addr(k + 1) if k + 1 < n else 0
+
+    pb = ProgramBuilder(entry="init")
+    b = pb.block("init")
+    b.write(REG_PTR, b.movi(node_addr(0)))   # cur
+    b.write(REG_ACC, b.movi(0))              # prev
+    b.branch("rev")
+
+    b = pb.block("rev")
+    cur = b.read(REG_PTR)
+    prev = b.read(REG_ACC)
+    nxt = b.load(cur, offset=8)
+    b.store(cur, prev, offset=8)
+    b.write(REG_ACC, cur)
+    b.write(REG_PTR, nxt)
+    b.branch_if(b.tne(nxt, imm=0), "rev", "@halt")
+
+    pb.data_words("nodes", REGION_A, words)
+    program = pb.build()
+
+    expected_mem = {}
+    for k in range(n):
+        expected_mem[node_addr(k) + 8] = node_addr(k - 1) if k else 0
+    return KernelInstance(
+        name="listrev",
+        program=program,
+        expected_regs={REG_PTR: 0, REG_ACC: node_addr(n - 1)},
+        expected_mem_words=expected_mem,
+        approx_blocks=n + 1,
+    )
+
+
+SPEC = KernelSpec(
+    name="listrev",
+    category="pointer",
+    description="in-place list reversal; pointer stores, no true dependences",
+    build=build,
+    default_scale=400,
+    test_scale=20,
+)

@@ -1,0 +1,70 @@
+"""listsum — pointer-chasing traversal of a scrambled linked list.
+
+The list is laid out in a pseudo-random order in the data segment, so each
+block's loads (node value + next pointer) depend on the previous block's
+load through a register, defeating any spatial locality.  There are no
+stores, hence no memory conflicts: the kernel measures how policies behave
+on load-latency-bound pointer code.
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ..common import (KernelInstance, KernelSpec, REGION_A, REG_ACC,
+                      REG_PTR, lcg, mask64)
+
+_NODE_SIZE = 16   # [value, next]
+
+
+def build(scale: int) -> KernelInstance:
+    n = scale
+    rand = lcg(0x115F)
+    # Fisher-Yates over node slots using the shared deterministic PRNG.
+    order = list(range(n))
+    for i in range(n - 1, 0, -1):
+        j = rand() % (i + 1)
+        order[i], order[j] = order[j], order[i]
+    values = [rand() % 10000 for _ in range(n)]
+
+    # order[k] is the slot of the k-th logical node.
+    words = [0] * (2 * n)
+    for k in range(n):
+        slot = order[k]
+        next_addr = REGION_A + _NODE_SIZE * order[k + 1] if k + 1 < n else 0
+        words[2 * slot] = values[k]
+        words[2 * slot + 1] = next_addr
+
+    pb = ProgramBuilder(entry="init")
+    b = pb.block("init")
+    b.write(REG_PTR, b.movi(REGION_A + _NODE_SIZE * order[0]))
+    b.write(REG_ACC, b.movi(0))
+    b.branch("walk")
+
+    b = pb.block("walk")
+    ptr = b.read(REG_PTR)
+    acc = b.read(REG_ACC)
+    value = b.load(ptr)
+    nxt = b.load(ptr, offset=8)
+    b.write(REG_ACC, b.add(acc, value))
+    b.write(REG_PTR, nxt)
+    b.branch_if(b.tne(nxt, imm=0), "walk", "@halt")
+
+    pb.data_words("nodes", REGION_A, words)
+    program = pb.build()
+
+    return KernelInstance(
+        name="listsum",
+        program=program,
+        expected_regs={REG_ACC: mask64(sum(values)), REG_PTR: 0},
+        approx_blocks=n + 1,
+    )
+
+
+SPEC = KernelSpec(
+    name="listsum",
+    category="pointer",
+    description="scrambled linked-list traversal; load-chain bound, no stores",
+    build=build,
+    default_scale=400,
+    test_scale=20,
+)

@@ -1,0 +1,60 @@
+"""memaccum — an accumulator that lives in memory.
+
+Every iteration loads a cell, runs the value through a short dependent
+multiply chain, and stores it back: a true store-to-load dependence at block
+distance 1, every block.  This is the fully-serial end of the spectrum —
+aggressive speculation always mis-speculates, so it isolates pure recovery
+cost (flush refetch vs. DSRE re-execution).
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ..common import KernelInstance, KernelSpec, REGION_A, REG_I, mask64
+
+_CELL = REGION_A
+
+
+def build(scale: int) -> KernelInstance:
+    n = scale
+
+    pb = ProgramBuilder(entry="init")
+    b = pb.block("init")
+    b.write(REG_I, b.movi(0))
+    b.branch("loop")
+
+    b = pb.block("loop")
+    i = b.read(REG_I)
+    cell = b.const(_CELL)
+    v = b.load(cell)
+    # Three dependent multiplies delay the store long enough that a
+    # speculative load in the next block reads stale data.
+    slow = b.mul(b.mul(b.mul(v, imm=3), imm=5), imm=7)
+    b.store(cell, b.add(slow, imm=11))
+    i2 = b.add(i, imm=1)
+    b.write(REG_I, i2)
+    b.branch_if(b.tlt(i2, imm=n), "loop", "@halt")
+
+    pb.data_words("cell", _CELL, [1])
+    program = pb.build()
+
+    value = 1
+    for _ in range(n):
+        value = mask64(value * 3 * 5 * 7 + 11)
+    return KernelInstance(
+        name="memaccum",
+        program=program,
+        expected_regs={REG_I: n},
+        expected_mem_words={_CELL: value},
+        approx_blocks=n + 1,
+    )
+
+
+SPEC = KernelSpec(
+    name="memaccum",
+    category="serial",
+    description="memory-resident accumulator; a true dependence every block",
+    build=build,
+    default_scale=300,
+    test_scale=16,
+)

@@ -1,0 +1,60 @@
+"""memmove — forward copy between overlapping regions.
+
+``a[i+1] = a[i]`` copies a region onto itself shifted by one word, so every
+load reads exactly what the previous block stored.  Like memaccum it is
+fully serial — but the *values* stabilise (the region floods with ``a[0]``),
+so DSRE's value-based re-delivery check stops mis-speculating once the wave
+of identical values arrives, while an address-based predictor keeps
+serialising.  A sharp contrast case.
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ..common import (KernelInstance, KernelSpec, REGION_A, REG_I, lcg)
+
+
+def build(scale: int) -> KernelInstance:
+    n = scale
+    rand = lcg(0x3407E)
+    data = [rand() % 100000 for _ in range(n + 1)]
+
+    pb = ProgramBuilder(entry="init")
+    b = pb.block("init")
+    b.write(REG_I, b.movi(0))
+    b.branch("loop")
+
+    b = pb.block("loop")
+    i = b.read(REG_I)
+    base = b.const(REGION_A)
+    addr = b.add(base, b.shl(i, imm=3))
+    v = b.load(addr)
+    b.store(addr, v, offset=8)
+    i2 = b.add(i, imm=1)
+    b.write(REG_I, i2)
+    b.branch_if(b.tlt(i2, imm=n), "loop", "@halt")
+
+    pb.data_words("a", REGION_A, data)
+    program = pb.build()
+
+    # Forward overlapping copy floods the region with a[0].
+    expected_mem = {REGION_A: data[0]}
+    for k in range(1, n + 1):
+        expected_mem[REGION_A + 8 * k] = data[0]
+    return KernelInstance(
+        name="memmove",
+        program=program,
+        expected_regs={REG_I: n},
+        expected_mem_words=expected_mem,
+        approx_blocks=n + 1,
+    )
+
+
+SPEC = KernelSpec(
+    name="memmove",
+    category="serial",
+    description="overlapping forward copy; dependences with stabilising values",
+    build=build,
+    default_scale=300,
+    test_scale=16,
+)

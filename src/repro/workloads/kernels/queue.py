@@ -1,0 +1,66 @@
+"""queue — a software pipeline through a circular buffer.
+
+Iteration ``i`` stores a freshly computed value into ``q[i+LAG]`` and loads
+``q[i]`` — written ``LAG`` iterations earlier.  Every load has a true
+producing store at block distance ``LAG`` (3), squarely *inside* small
+instruction windows and increasingly resolved-early in large ones: the
+kernel that makes window-size scaling (experiment E2) interesting.
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ..common import (KernelInstance, KernelSpec, REGION_A, REG_ACC, REG_I,
+                      mask64)
+
+_LAG = 3
+
+
+def build(scale: int) -> KernelInstance:
+    n = scale
+
+    pb = ProgramBuilder(entry="init")
+    b = pb.block("init")
+    b.write(REG_I, b.movi(0))
+    b.write(REG_ACC, b.movi(0))
+    b.branch("loop")
+
+    b = pb.block("loop")
+    i = b.read(REG_I)
+    acc = b.read(REG_ACC)
+    base = b.const(REGION_A)
+    addr = b.add(base, b.shl(i, imm=3))
+    # Produce slowly (dependent multiply chain), consume eagerly.
+    produced = b.add(b.mul(b.mul(i, imm=13), imm=17), imm=1)
+    b.store(addr, produced, offset=8 * _LAG)
+    consumed = b.load(addr)
+    b.write(REG_ACC, b.add(acc, consumed))
+    i2 = b.add(i, imm=1)
+    b.write(REG_I, i2)
+    b.branch_if(b.tlt(i2, imm=n), "loop", "@halt")
+
+    seed = [100 + k for k in range(_LAG)]
+    pb.data_words("q", REGION_A, seed + [0] * (n + _LAG))
+    program = pb.build()
+
+    q = seed + [0] * (n + _LAG)
+    acc = 0
+    for i in range(n):
+        q[i + _LAG] = mask64(i * 13 * 17 + 1)
+        acc = mask64(acc + q[i])
+    return KernelInstance(
+        name="queue",
+        program=program,
+        expected_regs={REG_ACC: acc, REG_I: n},
+        approx_blocks=n + 1,
+    )
+
+
+SPEC = KernelSpec(
+    name="queue",
+    category="irregular",
+    description="circular-buffer pipeline; true dependences at distance 3",
+    build=build,
+    default_scale=300,
+    test_scale=20,
+)

@@ -1,0 +1,63 @@
+"""stencil — 1-D Gauss–Seidel sweep (in-place 3-point stencil).
+
+``a[i] = (a[i-1] + 2*a[i] + a[i+1]) >> 2`` updates in place, so each
+iteration's load of ``a[i-1]`` reads the value the *previous block* stored:
+a true store-to-load dependence at distance 1 on every block, with values
+that genuinely change.  Predictor-based policies serialise here; DSRE pays
+one re-execution wave per block.
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ..common import (KernelInstance, KernelSpec, REGION_A, REG_I, lcg,
+                      mask64)
+
+
+def build(scale: int) -> KernelInstance:
+    n = scale
+    rand = lcg(0x57E7)
+    data = [rand() % 4096 for _ in range(n + 2)]
+
+    pb = ProgramBuilder(entry="init")
+    b = pb.block("init")
+    b.write(REG_I, b.movi(1))
+    b.branch("loop")
+
+    b = pb.block("loop")
+    i = b.read(REG_I)
+    base = b.const(REGION_A)
+    addr = b.add(base, b.shl(i, imm=3))
+    left = b.load(addr, offset=-8)
+    mid = b.load(addr)
+    right = b.load(addr, offset=8)
+    total = b.add(b.add(left, b.shl(mid, imm=1)), right)
+    b.store(addr, b.shr(total, imm=2))
+    i2 = b.add(i, imm=1)
+    b.write(REG_I, i2)
+    b.branch_if(b.tle(i2, imm=n), "loop", "@halt")
+
+    pb.data_words("a", REGION_A, data)
+    program = pb.build()
+
+    ref = list(data)
+    for i in range(1, n + 1):
+        ref[i] = mask64(ref[i - 1] + 2 * ref[i] + ref[i + 1]) >> 2
+    expected_mem = {REGION_A + 8 * k: v for k, v in enumerate(ref)}
+    return KernelInstance(
+        name="stencil",
+        program=program,
+        expected_regs={REG_I: n + 1},
+        expected_mem_words=expected_mem,
+        approx_blocks=n + 1,
+    )
+
+
+SPEC = KernelSpec(
+    name="stencil",
+    category="serial",
+    description="in-place Gauss-Seidel sweep; distance-1 true dependences",
+    build=build,
+    default_scale=300,
+    test_scale=16,
+)

@@ -1,0 +1,65 @@
+"""vecsum — streaming array reduction with an in-place update.
+
+Sums an array while doubling each element in place.  Every load reads a
+location no in-flight store has touched, so there are no cross-block memory
+dependences: the kernel shows the *upside* of aggressive load issue and the
+cost conservative policies pay for nothing.
+"""
+
+from __future__ import annotations
+
+from ...isa.builder import ProgramBuilder
+from ..common import (KernelInstance, KernelSpec, REGION_A, REG_ACC, REG_I,
+                      lcg, mask64)
+
+
+def build(scale: int) -> KernelInstance:
+    n = scale - (scale % 4)     # unrolled x4
+    rand = lcg(0x5EED)
+    values = [rand() % 1000 for _ in range(n)]
+
+    pb = ProgramBuilder(entry="init")
+    b = pb.block("init")
+    b.write(REG_I, b.movi(0))
+    b.write(REG_ACC, b.movi(0))
+    b.branch("loop")
+
+    # Unrolled x4 into one EDGE-style wide block (the compiler's hyperblock
+    # formation would do the same).
+    b = pb.block("loop")
+    i = b.read(REG_I)
+    acc = b.read(REG_ACC)
+    base = b.const(REGION_A)
+    addr = b.add(base, b.shl(i, imm=3))
+    total = acc
+    for k in range(4):
+        v = b.load(addr, offset=8 * k)
+        b.store(addr, b.shl(v, imm=1), offset=8 * k)
+        total = b.add(total, v)
+    b.write(REG_ACC, total)
+    i2 = b.add(i, imm=4)
+    b.write(REG_I, i2)
+    b.branch_if(b.tlt(i2, imm=n), "loop", "@halt")
+
+    pb.data_words("a", REGION_A, values)
+    program = pb.build()
+
+    expected_mem = {REGION_A + 8 * k: mask64(2 * v)
+                    for k, v in enumerate(values)}
+    return KernelInstance(
+        name="vecsum",
+        program=program,
+        expected_regs={REG_I: n, REG_ACC: mask64(sum(values))},
+        expected_mem_words=expected_mem,
+        approx_blocks=n // 4 + 1,
+    )
+
+
+SPEC = KernelSpec(
+    name="vecsum",
+    category="streaming",
+    description="array reduction + in-place doubling; no memory conflicts",
+    build=build,
+    default_scale=400,
+    test_scale=24,
+)

@@ -1,0 +1,34 @@
+"""Kernel registry: look up workloads by name or category."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ReproError
+from .common import KernelInstance, KernelSpec
+from .kernels import ALL_SPECS
+
+KERNELS: Dict[str, KernelSpec] = {spec.name: spec for spec in ALL_SPECS}
+
+
+def kernel_names() -> List[str]:
+    return list(KERNELS)
+
+
+def get_kernel(name: str) -> KernelSpec:
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown kernel {name!r}; available: {', '.join(KERNELS)}"
+        ) from None
+
+
+def kernels_in_category(category: str) -> List[KernelSpec]:
+    return [spec for spec in ALL_SPECS if spec.category == category]
+
+
+def build_kernel(name: str, scale: int = 0) -> KernelInstance:
+    """Build a kernel at ``scale`` (0 means the spec's default scale)."""
+    spec = get_kernel(name)
+    return spec.build(scale or spec.default_scale)

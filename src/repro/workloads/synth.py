@@ -1,0 +1,121 @@
+"""Synthetic workload generator with a tunable true-dependence rate.
+
+Generates a single parameterised loop (so static memory operations repeat,
+as in real code).  Iteration ``i`` stores a slowly computed value to its own
+cell; its consumer load reads either the cell stored ``distance`` iterations
+earlier (a true, in-window dependence) or a private cell nothing in flight
+touches.  Which one is decided per iteration by a pre-generated flag table,
+so the *rate* of conflicts is controlled while the addresses stay
+data-dependent and unpredictable.
+
+This shape exposes the central tension of the paper's evaluation:
+
+* a store-set predictor trains on the first violation and then serialises
+  **every** iteration (the static load/store pair is shared), over-paying
+  at low conflict rates;
+* flush recovery pays a full squash per actual conflict, over-paying at
+  high rates;
+* DSRE pays a small re-execution wave only for actual conflicts.
+
+Experiment E7 sweeps ``conflict_rate`` to map out the crossovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.builder import ProgramBuilder
+from .common import KernelInstance, REG_ACC, REG_I, lcg, mask64
+
+#: Cells written by iteration i live at _STORE_BASE + 8*i; private (never
+#: stored) cells at _CLEAN_BASE + 8*i; per-iteration conflict flags at
+#: _FLAG_BASE + 8*i.
+_STORE_BASE = 0x8_0000
+_CLEAN_BASE = 0x9_0000
+_FLAG_BASE = 0xA_0000
+
+
+@dataclass(frozen=True)
+class SynthParams:
+    """Shape of one synthetic workload."""
+
+    n_blocks: int = 200            # loop iterations
+    conflict_rate: float = 0.2     # fraction of loads with a true dependence
+    distance: int = 1              # iteration distance of the dependence
+    #: Dependent multiplies before the store's data resolves — deep enough
+    #: by default that a dependent load ``distance`` blocks behind issues
+    #: before the store resolves.
+    compute_depth: int = 6
+    seed: int = 0xD5CE
+
+    def validate(self) -> None:
+        if not 0.0 <= self.conflict_rate <= 1.0:
+            raise ValueError("conflict_rate must be in [0, 1]")
+        if self.distance < 1:
+            raise ValueError("distance must be >= 1")
+        if self.n_blocks < self.distance + 2:
+            raise ValueError("n_blocks too small for the distance")
+
+
+def _store_value(iteration: int) -> int:
+    return mask64(iteration * 2654435761 + 12345)
+
+
+def build_synthetic(params: SynthParams) -> KernelInstance:
+    """Build the synthetic loop described by ``params``."""
+    params.validate()
+    rand = lcg(params.seed)
+    n = params.n_blocks
+    clean_values = [rand() % 65536 for _ in range(n)]
+    flags = [1 if (b >= params.distance
+                   and (rand() % 10_000) < params.conflict_rate * 10_000)
+             else 0 for b in range(n)]
+
+    pb = ProgramBuilder(entry="init")
+    b = pb.block("init")
+    b.write(REG_I, b.movi(0))
+    b.write(REG_ACC, b.movi(0))
+    b.branch("loop")
+
+    b = pb.block("loop")
+    i = b.read(REG_I)
+    acc = b.read(REG_ACC)
+    off = b.shl(i, imm=3)
+
+    # Producer: a slow value stored to this iteration's own cell.
+    produced = b.add(b.mul(i, imm=2654435761), imm=12345)
+    for _ in range(params.compute_depth):
+        produced = b.mul(produced, imm=1)
+    b.store(b.add(b.const(_STORE_BASE), off), produced)
+
+    # Consumer: flag chooses the conflicting or the private cell.
+    flag = b.load(b.add(b.const(_FLAG_BASE), off))
+    conflict_addr = b.add(b.const(_STORE_BASE - 8 * params.distance), off)
+    clean_addr = b.add(b.const(_CLEAN_BASE), off)
+    addr = b.select(flag, conflict_addr, clean_addr)
+    consumed = b.load(addr)
+    b.write(REG_ACC, b.add(acc, consumed))
+
+    i2 = b.add(i, imm=1)
+    b.write(REG_I, i2)
+    b.branch_if(b.tlt(i2, imm=n), "loop", "@halt")
+
+    pb.data_words("clean", _CLEAN_BASE, clean_values)
+    pb.data_words("flags", _FLAG_BASE, flags)
+    program = pb.build()
+
+    acc_ref = 0
+    for it in range(n):
+        if flags[it]:
+            acc_ref = mask64(acc_ref + _store_value(it - params.distance))
+        else:
+            acc_ref = mask64(acc_ref + clean_values[it])
+    expected_mem = {_STORE_BASE + 8 * it: _store_value(it)
+                    for it in range(n)}
+    return KernelInstance(
+        name=f"synth(c={params.conflict_rate},d={params.distance})",
+        program=program,
+        expected_regs={REG_ACC: acc_ref, REG_I: n},
+        expected_mem_words=expected_mem,
+        approx_blocks=n + 1,
+    )

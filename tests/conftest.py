@@ -1,0 +1,66 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import run_program
+from repro.isa import ProgramBuilder
+from repro.uarch import Processor, default_config
+
+
+def build_single_block(body):
+    """Build a one-block program; ``body(b)`` fills the block and must
+    arrange for at least one write.  The block branches to @halt."""
+    pb = ProgramBuilder(entry="main")
+    b = pb.block("main")
+    body(b)
+    b.branch("@halt")
+    return pb.build()
+
+
+def run_functional(program, initial_regs=None):
+    """Run the golden model; returns (trace, final ArchState)."""
+    return run_program(program, initial_regs)
+
+
+def run_timing(program, initial_regs=None, **config_overrides):
+    """Run the timing simulator (golden checking on); returns
+    (SimResult, final ArchState)."""
+    config = default_config(**config_overrides)
+    proc = Processor(program, config, initial_regs)
+    result = proc.run()
+    return result, proc.arch
+
+
+@pytest.fixture
+def counter_program():
+    """A two-block loop: R1 counts 0..7, R2 accumulates 0+1+..+7."""
+    pb = ProgramBuilder(entry="init")
+    b = pb.block("init")
+    b.write(1, b.movi(0))
+    b.write(2, b.movi(0))
+    b.branch("loop")
+    b = pb.block("loop")
+    i = b.read(1)
+    acc = b.read(2)
+    b.write(2, b.add(acc, i))
+    i2 = b.add(i, imm=1)
+    b.write(1, i2)
+    b.branch_if(b.tlt(i2, imm=8), "loop", "@halt")
+    return pb.build()
+
+
+@pytest.fixture
+def store_load_program():
+    """Two blocks with a cross-block store->load dependence."""
+    pb = ProgramBuilder(entry="a")
+    b = pb.block("a")
+    addr = b.const(0x2000)
+    b.store(addr, b.movi(1234))
+    b.write(1, addr)
+    b.branch("b")
+    b = pb.block("b")
+    b.write(2, b.load(b.read(1)))
+    b.branch("@halt")
+    return pb.build()

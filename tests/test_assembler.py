@@ -1,0 +1,251 @@
+"""Tests for the textual assembler."""
+
+import pytest
+
+from repro.arch import run_program
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+
+
+def run_asm(source, initial_regs=None):
+    program = assemble(source)
+    return run_program(program, initial_regs)
+
+
+class TestBasics:
+    def test_minimal_program(self):
+        _, state = run_asm("""
+            .entry main
+            .block main
+                %x = movi 42
+                write r1 %x
+                bro @halt
+        """)
+        assert state.get_reg(1) == 42
+
+    def test_arithmetic_and_immediates(self):
+        _, state = run_asm("""
+            .entry main
+            .block main
+                %a = movi 10
+                %b = add %a #5
+                %c = mul %a %b
+                write r1 %c
+                bro @halt
+        """)
+        assert state.get_reg(1) == 150
+
+    def test_read_write_registers(self):
+        _, state = run_asm("""
+            .entry main
+            .block main
+                %in = read r3
+                %out = shl %in #1
+                write r4 %out
+                bro @halt
+        """, initial_regs={3: 21})
+        assert state.get_reg(4) == 42
+
+    def test_aliased_opcodes(self):
+        _, state = run_asm("""
+            .entry main
+            .block main
+                %a = movi 12
+                %b = and %a #10
+                %c = or %b #1
+                %d = not %c
+                write r1 %d
+                bro @halt
+        """)
+        assert state.get_reg(1) == ((~9) & ((1 << 64) - 1))
+
+    def test_comments_and_blank_lines(self):
+        _, state = run_asm("""
+            ; a comment
+            .entry main
+
+            .block main
+                %x = movi 7   ; trailing comment
+                write r1 %x
+                bro @halt
+        """)
+        assert state.get_reg(1) == 7
+
+    def test_multi_block_control_flow(self):
+        _, state = run_asm("""
+            .entry a
+            .block a
+                %x = movi 1
+                write r1 %x
+                bro b
+            .block b
+                %y = read r1
+                %z = add %y #1
+                write r1 %z
+                bro @halt
+        """)
+        assert state.get_reg(1) == 2
+
+
+class TestMemory:
+    def test_data_words_and_load(self):
+        _, state = run_asm("""
+            .entry main
+            .data nums 0x1000
+                .word 11 22 33
+            .block main
+                %base = movi 0x1000
+                %v = load %base [off=8]
+                write r1 %v
+                bro @halt
+        """)
+        assert state.get_reg(1) == 22
+
+    def test_data_bytes(self):
+        _, state = run_asm("""
+            .entry main
+            .data raw 0x2000
+                .byte 0xCD 0xAB
+            .block main
+                %base = movi 0x2000
+                %v = load %base [width=2]
+                write r1 %v
+                bro @halt
+        """)
+        assert state.get_reg(1) == 0xABCD
+
+    def test_store_with_attrs(self):
+        _, state = run_asm("""
+            .entry main
+            .block main
+                %a = movi 0x3000
+                %v = movi 0x11223344
+                store %a %v [width=4, off=4]
+                %r = load %a [width=8]
+                write r1 %r
+                bro @halt
+        """)
+        assert state.get_reg(1) == 0x11223344_00000000
+
+    def test_explicit_lsids(self):
+        program = assemble("""
+            .entry main
+            .block main
+                %a = movi 0x100
+                %v = load %a [lsid=3]
+                store %a %v [lsid=7]
+                write r1 %v
+                bro @halt
+        """)
+        block = program.block("main")
+        assert block.load_lsids == [3]
+        assert block.store_lsids == [7]
+
+
+class TestPredication:
+    def test_predicated_ops(self):
+        _, state = run_asm("""
+            .entry main
+            .block main
+                %one = movi 1
+                %p = teq %one #1
+                %t = mov %one @t(%p)
+                %f = movi 99 @f(%p)
+                %r = select %p %t %f
+                write r1 %r
+                bro @halt
+        """)
+        assert state.get_reg(1) == 1
+
+    def test_predicated_branches(self):
+        _, state = run_asm("""
+            .entry main
+            .block main
+                %x = movi 5
+                %p = tlt %x #10
+                write r1 %x
+                bro yes @t(%p)
+                bro no @f(%p)
+            .block yes
+                %v = movi 100
+                write r2 %v
+                bro @halt
+            .block no
+                %v = movi 200
+                write r2 %v
+                bro @halt
+        """)
+        assert state.get_reg(2) == 100
+
+    def test_select_sugar(self):
+        _, state = run_asm("""
+            .entry main
+            .block main
+                %z = movi 0
+                %p = tne %z #0
+                %a = movi 1
+                %b = movi 2
+                %r = select %p %a %b
+                write r1 %r
+                bro @halt
+        """)
+        assert state.get_reg(1) == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source,pattern", [
+        (".block m\n", ".entry"),
+        (".entry m\n.entry n\n", "duplicate"),
+        (".entry m\n.block m\n%x = movi 1\n%x = movi 2\n", "redefinition"),
+        (".entry m\n.block m\n%y = add %nope #1\n", "undefined"),
+        (".entry m\n.block m\n%y = frobnicate #1\n", "unknown opcode"),
+        (".entry m\n.block m\nwrite r1\n", "write takes"),
+        (".entry m\n.block m\n%x = movi 1\nwrite q1 %x\n", "register"),
+        (".entry m\n%x = movi 1\n", "outside a .block"),
+        (".entry m\n.word 1\n", "outside a .data"),
+        (".entry m\n.data d 0x10\n.byte 300\n", "out of range"),
+        (".entry m\n.block m\n%x = movi 1 [zoom=1]\n", "unknown attribute"),
+        (".entry m\n.block m\n%x = movi zz\n", "bad integer"),
+    ])
+    def test_rejects(self, source, pattern):
+        with pytest.raises(AssemblerError, match=pattern):
+            assemble(source)
+
+    def test_error_carries_line_number(self):
+        source = ".entry m\n.block m\n%x = movi 1\n%y = bogus %x\n"
+        with pytest.raises(AssemblerError) as info:
+            assemble(source)
+        assert info.value.line == 4
+        assert "line 4" in str(info.value)
+
+
+class TestTimingIntegration:
+    def test_assembled_program_on_simulator(self):
+        from repro.uarch import Processor, default_config
+        program = assemble("""
+            .entry init
+            .data arr 0x1000
+                .word 5 6 7 8
+            .block init
+                %z = movi 0
+                write r1 %z
+                write r2 %z
+                bro loop
+            .block loop
+                %i = read r1
+                %acc = read r2
+                %base = movi 0x1000
+                %off = shl %i #3
+                %addr = add %base %off
+                %v = load %addr
+                %acc2 = add %acc %v
+                write r2 %acc2
+                %i2 = add %i #1
+                write r1 %i2
+                %p = tlt %i2 #4
+                bro loop @t(%p)
+                bro @halt @f(%p)
+        """)
+        proc = Processor(program, default_config())
+        proc.run()
+        assert proc.arch.get_reg(2) == 5 + 6 + 7 + 8

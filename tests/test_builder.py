@@ -1,0 +1,209 @@
+"""Unit tests for the builder DSL (fan-out expansion, predication, wiring)."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import Opcode, ProgramBuilder, Slot, TargetKind
+from repro.arch import run_program
+
+
+def single(body):
+    pb = ProgramBuilder(entry="m")
+    b = pb.block("m")
+    body(b)
+    b.branch("@halt")
+    return pb.build()
+
+
+class TestBasicConstruction:
+    def test_arithmetic_chain(self):
+        prog = single(lambda b: b.write(1, b.add(b.movi(2), b.movi(3))))
+        _, state = run_program(prog)
+        assert state.get_reg(1) == 5
+
+    def test_immediate_forms(self):
+        prog = single(lambda b: b.write(1, b.mul(b.movi(6), imm=7)))
+        _, state = run_program(prog)
+        assert state.get_reg(1) == 42
+
+    def test_bin_requires_exactly_one_of_wire_or_imm(self):
+        pb = ProgramBuilder(entry="m")
+        b = pb.block("m")
+        x = b.movi(1)
+        with pytest.raises(IsaError):
+            b.add(x)
+        with pytest.raises(IsaError):
+            b.add(x, x, imm=3)
+
+    def test_read_deduplicated(self):
+        pb = ProgramBuilder(entry="m")
+        b = pb.block("m")
+        r1 = b.read(5)
+        r2 = b.read(5)
+        assert r1.producers == r2.producers
+        b.write(1, b.add(r1, r2))
+        b.branch("@halt")
+        prog = pb.build()
+        assert len(prog.block("m").reads) == 1
+
+    def test_const_caching(self):
+        pb = ProgramBuilder(entry="m")
+        b = pb.block("m")
+        c1 = b.const(99)
+        c2 = b.const(99)
+        c3 = b.const(100)
+        assert c1.producers == c2.producers
+        assert c1.producers != c3.producers
+        b.write(1, b.add(c1, c3))
+        b.branch("@halt")
+        pb.build()
+
+    def test_wire_cannot_cross_blocks(self):
+        pb = ProgramBuilder(entry="a")
+        a = pb.block("a")
+        x = a.movi(1)
+        a.write(1, x)
+        a.branch("b")
+        other = pb.block("b")
+        with pytest.raises(IsaError, match="cross block"):
+            other.write(2, x)
+
+    def test_memory_op_rejected_via_op(self):
+        pb = ProgramBuilder(entry="m")
+        b = pb.block("m")
+        with pytest.raises(IsaError, match="load"):
+            b.op(Opcode.LOAD, b.movi(0))
+
+
+class TestLsids:
+    def test_auto_lsid_in_program_order(self):
+        pb = ProgramBuilder(entry="m")
+        b = pb.block("m")
+        addr = b.const(0x100)
+        b.load(addr)
+        b.store(addr, b.movi(1), offset=8)
+        b.load(addr, offset=16)
+        b.write(1, b.movi(0))
+        b.branch("@halt")
+        prog = pb.build()
+        block = prog.block("m")
+        kinds = [(i.opcode, i.lsid) for i in block.instructions
+                 if i.is_memory]
+        assert kinds == [(Opcode.LOAD, 0), (Opcode.STORE, 1),
+                         (Opcode.LOAD, 2)]
+
+    def test_explicit_lsid(self):
+        pb = ProgramBuilder(entry="m")
+        b = pb.block("m")
+        addr = b.const(0x100)
+        b.load(addr, lsid=7)
+        b.store(addr, b.movi(1), offset=8)   # auto-assigned after 7
+        b.write(1, b.movi(0))
+        b.branch("@halt")
+        block = pb.build().block("m")
+        lsids = sorted(i.lsid for i in block.instructions if i.is_memory)
+        assert lsids == [7, 8]
+
+
+class TestPredication:
+    def test_select_true(self):
+        def body(b):
+            p = b.teq(b.movi(1), imm=1)
+            b.write(1, b.select(p, b.movi(10), b.movi(20)))
+        _, state = run_program(single(body))
+        assert state.get_reg(1) == 10
+
+    def test_select_false(self):
+        def body(b):
+            p = b.teq(b.movi(0), imm=1)
+            b.write(1, b.select(p, b.movi(10), b.movi(20)))
+        _, state = run_program(single(body))
+        assert state.get_reg(1) == 20
+
+    def test_pred_tuple_sense(self):
+        def body(b):
+            p = b.movi(0)
+            b.write(1, b.mov(b.movi(7), pred=(p, False)))
+        _, state = run_program(single(body))
+        assert state.get_reg(1) == 7
+
+    def test_predicated_store_nullified(self):
+        def body(b):
+            p = b.movi(0)
+            b.store(b.const(0x100), b.movi(9), pred=p)
+            b.write(1, b.movi(1))
+        _, state = run_program(single(body))
+        assert state.memory.read_word(0x100) == 0
+
+    def test_branch_if(self):
+        pb = ProgramBuilder(entry="a")
+        b = pb.block("a")
+        p = b.tlt(b.movi(1), imm=2)
+        b.write(1, b.movi(0))
+        b.branch_if(p, "yes", "no")
+        y = pb.block("yes")
+        y.write(2, y.movi(111))
+        y.branch("@halt")
+        n = pb.block("no")
+        n.write(2, n.movi(222))
+        n.branch("@halt")
+        _, state = run_program(pb.build())
+        assert state.get_reg(2) == 111
+
+
+class TestFanoutExpansion:
+    def test_wide_fanout_gets_mov_tree(self):
+        pb = ProgramBuilder(entry="m")
+        b = pb.block("m")
+        x = b.movi(3)
+        total = b.movi(0)
+        for _ in range(10):                 # 10 consumers of x
+            total = b.add(total, x)
+        b.write(1, total)
+        b.branch("@halt")
+        prog = pb.build()
+        block = prog.block("m")
+        # No producer may exceed the fan-out limit after expansion.
+        for _, targets in block._iter_target_lists():
+            assert len(targets) <= 4
+        movs = [i for i in block.instructions if i.opcode is Opcode.MOV]
+        assert movs, "fan-out expansion should have inserted MOVs"
+        _, state = run_program(prog)
+        assert state.get_reg(1) == 30
+
+    def test_fanout_preserves_predication_nulls(self):
+        pb = ProgramBuilder(entry="m")
+        b = pb.block("m")
+        p = b.movi(0)
+        dead = b.movi(666, )
+        gated = b.mov(dead, pred=p)         # never fires (p false)
+        live = b.movi(1)
+        alive = b.mov(live, pred=(p, False))
+        total = b.movi(0)
+        for _ in range(6):                  # force fan-out through MOV tree
+            nxt = b.select(p, gated, alive)
+            total = b.add(total, nxt)
+        b.write(1, total)
+        b.branch("@halt")
+        _, state = run_program(pb.build())
+        assert state.get_reg(1) == 6
+
+
+class TestDataSegments:
+    def test_data_words_roundtrip(self):
+        pb = ProgramBuilder(entry="m")
+        b = pb.block("m")
+        b.write(1, b.load(b.const(0x1000)))
+        b.branch("@halt")
+        pb.data_words("d", 0x1000, [0xDEADBEEF])
+        _, state = run_program(pb.build())
+        assert state.get_reg(1) == 0xDEADBEEF
+
+    def test_data_bytes(self):
+        pb = ProgramBuilder(entry="m")
+        b = pb.block("m")
+        b.write(1, b.load(b.const(0x1000), width=1))
+        b.branch("@halt")
+        pb.data_bytes("d", 0x1000, b"\xAB\xCD")
+        _, state = run_program(pb.build())
+        assert state.get_reg(1) == 0xAB

@@ -1,0 +1,335 @@
+"""Tests for the EK kernel-language compiler."""
+
+import pytest
+
+from repro.arch import run_program
+from repro.compiler import compile_source, parse, tokenize
+from repro.compiler.ast_nodes import Assign, BinOp, If, Number, While
+from repro.errors import CompileError
+from repro.isa.values import to_unsigned
+
+
+def run_ek(source):
+    compiled = compile_source(source)
+    _, state = run_program(compiled.program)
+    return state.get_reg(compiled.result_reg), compiled, state
+
+
+def result_of(source):
+    return run_ek(source)[0]
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("var x = 0x10 + 2  # comment")
+        texts = [t.text for t in tokens]
+        assert texts == ["var", "x", "=", "0x10", "+", "2", "<eof>"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+    def test_multichar_operators(self):
+        tokens = tokenize("a << b >= c != d")
+        ops = [t.text for t in tokens if t.text in ("<<", ">=", "!=")]
+        assert ops == ["<<", ">=", "!="]
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError, match="unexpected character"):
+            tokenize("var $x = 1")
+
+
+class TestParser:
+    def test_precedence(self):
+        ast = parse("return 1 + 2 * 3")
+        expr = ast.statements[0].value
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_comparison_binds_loosest(self):
+        ast = parse("return 1 + 2 < 3 * 4")
+        expr = ast.statements[0].value
+        assert expr.op == "<"
+
+    def test_parentheses(self):
+        assert result_of("return (1 + 2) * 3") == 9
+
+    def test_nested_blocks(self):
+        ast = parse("while 1 { if 2 { var x = 3 } }")
+        loop = ast.statements[0]
+        assert isinstance(loop, While)
+        assert isinstance(loop.body[0], If)
+
+    def test_else_if_chain(self):
+        ast = parse("if 1 { var a = 1 } else if 2 { var b = 2 }")
+        outer = ast.statements[0]
+        assert isinstance(outer.else_body[0], If)
+
+    @pytest.mark.parametrize("source,pattern", [
+        ("var = 1", "expected a name"),
+        ("var x 1", "expected '='"),
+        ("while 1 { var x = 1", "missing"),
+        ("}", "unmatched"),
+        ("return", "unexpected"),
+        ("array a[0]", "positive size"),
+        ("array a[2] = [1,2,3]", "initialisers"),
+        ("frob x", "expected '='"),
+    ])
+    def test_errors(self, source, pattern):
+        with pytest.raises(CompileError, match=pattern):
+            parse(source)
+
+
+class TestExpressions:
+    @pytest.mark.parametrize("expr,expected", [
+        ("2 + 3", 5), ("7 - 9", to_unsigned(-2)), ("6 * 7", 42),
+        ("17 / 5", 3), ("17 % 5", 2), ("12 & 10", 8), ("12 | 10", 14),
+        ("12 ^ 10", 6), ("1 << 6", 64), ("64 >> 3", 8),
+        ("3 < 4", 1), ("4 < 3", 0), ("3 == 3", 1), ("3 != 3", 0),
+        ("5 >= 5", 1), ("5 > 5", 0), ("-5 + 6", 1),
+        ("~0", to_unsigned(-1)), ("!0", 1), ("!7", 0),
+        ("0xff", 255),
+    ])
+    def test_arithmetic(self, expr, expected):
+        assert result_of(f"return {expr}") == expected
+
+    def test_variables_flow(self):
+        assert result_of("var x = 4\nvar y = x * x\nreturn y + x") == 20
+
+    def test_division_by_zero_is_zero(self):
+        assert result_of("var z = 0\nreturn 5 / z") == 0
+
+    def test_constant_folding_produces_movi(self):
+        compiled = compile_source("return 2 * 3 + 4")
+        from repro.isa.opcodes import Opcode
+        entry = compiled.program.block("entry")
+        opcodes = {i.opcode for i in entry.instructions}
+        assert opcodes == {Opcode.MOVI, Opcode.BRO}
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        assert result_of("""
+            var i = 0
+            var total = 0
+            while i < 10 { total = total + i  i = i + 1 }
+            return total
+        """) == 45
+
+    def test_nested_while(self):
+        assert result_of("""
+            var i = 0
+            var count = 0
+            while i < 4 {
+                var j = 0
+                while j < 3 { count = count + 1  j = j + 1 }
+                i = i + 1
+            }
+            return count
+        """) == 12
+
+    def test_if_without_else(self):
+        assert result_of("""
+            var x = 5
+            var y = 0
+            if x > 3 { y = 1 }
+            return y
+        """) == 1
+
+    def test_if_else_branches(self):
+        assert result_of("""
+            var x = 2
+            if x > 3 { return 10 } else { return 20 }
+        """) == 20
+
+    def test_if_converted_to_selects(self):
+        compiled = compile_source("""
+            var x = 7
+            var y = 0
+            if x > 3 { y = 1 } else { y = 2 }
+            return y
+        """)
+        # If-conversion keeps everything in a single block.
+        assert list(compiled.program.blocks) == ["entry"]
+        _, state = run_program(compiled.program)
+        assert state.get_reg(compiled.result_reg) == 1
+
+    def test_if_with_memory_not_converted(self):
+        compiled = compile_source("""
+            array a[2]
+            var x = 1
+            if x { a[0] = 5 }
+            return a[0]
+        """)
+        assert len(compiled.program.blocks) > 1
+        _, state = run_program(compiled.program)
+        assert state.get_reg(compiled.result_reg) == 5
+
+    def test_return_in_both_arms(self):
+        assert result_of("""
+            var x = 9
+            if x % 2 == 0 { return 0 } else { return 1 }
+        """) == 1
+
+    def test_implicit_halt_without_return(self):
+        compiled = compile_source("var x = 1")
+        _, state = run_program(compiled.program)
+        assert state.get_reg(compiled.var_regs["x"]) == 1
+
+
+class TestArrays:
+    def test_initialised_array(self):
+        assert result_of("""
+            array a[4] = [10, 20, 30, 40]
+            return a[2]
+        """) == 30
+
+    def test_zero_fill(self):
+        assert result_of("array a[4] = [7]\nreturn a[3]") == 0
+
+    def test_store_then_load(self):
+        assert result_of("""
+            array a[4]
+            a[1] = 99
+            return a[1]
+        """) == 99
+
+    def test_computed_index(self):
+        assert result_of("""
+            array a[8] = [0, 1, 2, 3, 4, 5, 6, 7]
+            var i = 3
+            return a[i * 2]
+        """) == 6
+
+    def test_negative_initialisers(self):
+        assert result_of("array a[1] = [-5]\nreturn a[0] + 5") == 0
+
+    def test_two_arrays_disjoint(self):
+        _, compiled, state = run_ek("""
+            array a[2] = [1, 2]
+            array b[2] = [3, 4]
+            a[0] = 100
+            return b[0]
+        """)
+        assert state.get_reg(compiled.result_reg) == 3
+        assert compiled.array_bases["a"] != compiled.array_bases["b"]
+
+
+class TestPrograms:
+    def test_fibonacci(self):
+        assert result_of("""
+            var a = 0
+            var b = 1
+            var n = 20
+            while n > 0 {
+                var t = a + b
+                a = b
+                b = t
+                n = n - 1
+            }
+            return a
+        """) == 6765
+
+    def test_gcd(self):
+        assert result_of("""
+            var a = 252
+            var b = 105
+            while b != 0 {
+                var t = a % b
+                a = b
+                b = t
+            }
+            return a
+        """) == 21
+
+    def test_in_place_sort_via_selects(self):
+        source = """
+            array a[5] = [5, 1, 4, 2, 3]
+            var i = 0
+            while i < 4 {
+                var j = 0
+                while j < 4 {
+                    var x = a[j]
+                    var y = a[j + 1]
+                    var lo = x
+                    var hi = y
+                    if x > y { lo = y  hi = x } else { lo = x  hi = y }
+                    a[j] = lo
+                    a[j + 1] = hi
+                    j = j + 1
+                }
+                i = i + 1
+            }
+            return a[0] + a[4] * 10
+        """
+        assert result_of(source) == 1 + 50
+
+    def test_block_splitting_on_large_straightline(self):
+        lines = ["array a[64]"]
+        for i in range(40):
+            lines.append(f"a[{i}] = {i} * 3")
+        lines.append("return a[39]")
+        compiled = compile_source("\n".join(lines))
+        assert len(compiled.program.blocks) > 1   # split happened
+        _, state = run_program(compiled.program)
+        assert state.get_reg(compiled.result_reg) == 117
+
+
+class TestSemanticErrors:
+    @pytest.mark.parametrize("source,pattern", [
+        ("return x", "undeclared"),
+        ("x = 1", "undeclared"),
+        ("var x = 1\nvar x = 2", "redeclaration"),
+        ("var a = 1\narray a[2]", "redeclaration"),
+        ("array a[4]\nreturn a", "used as a scalar"),
+        ("b[0] = 1", "undeclared array"),
+        ("return 1\nvar x = 2", "unreachable"),
+        ("array a[99999]", "too large"),
+        ("var x = 0\nwhile x < 3 { return x }", "return inside while"),
+    ])
+    def test_rejected(self, source, pattern):
+        with pytest.raises(CompileError, match=pattern):
+            compile_source(source)
+
+
+class TestTimingIntegration:
+    @pytest.mark.parametrize("recovery", ["flush", "dsre"])
+    def test_compiled_kernel_on_simulator(self, recovery):
+        from repro.uarch import Processor, default_config
+        compiled = compile_source("""
+            var i = 0
+            var sum = 0
+            array a[16] = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3]
+            while i < 16 {
+                sum = sum + a[i] * a[i]
+                i = i + 1
+            }
+            return sum
+        """)
+        config = default_config(recovery=recovery)
+        proc = Processor(compiled.program, config)
+        proc.run()
+        data = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3]
+        assert proc.arch.get_reg(2) == sum(v * v for v in data)
+
+    def test_compiled_memory_dependences(self):
+        """A compiled Gauss-Seidel kernel exercises DSRE re-deliveries."""
+        from repro.harness.runner import run_point
+        from repro.workloads.common import KernelInstance
+        compiled = compile_source("""
+            array a[18] = [9, 8, 7, 6, 5, 4, 3, 2, 1, 9, 8, 7, 6, 5, 4, 3, 2, 1]
+            var i = 1
+            while i < 17 {
+                a[i] = (a[i - 1] + 2 * a[i] + a[i + 1]) >> 2
+                i = i + 1
+            }
+            return a[16]
+        """)
+        ref = [9, 8, 7, 6, 5, 4, 3, 2, 1, 9, 8, 7, 6, 5, 4, 3, 2, 1]
+        for i in range(1, 17):
+            ref[i] = (ref[i - 1] + 2 * ref[i] + ref[i + 1]) >> 2
+        instance = KernelInstance(
+            name="ek-stencil", program=compiled.program,
+            expected_regs={2: ref[16]})
+        result = run_point(instance, "dsre")
+        assert result.stats.load_redeliveries > 0

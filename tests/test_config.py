@@ -1,0 +1,72 @@
+"""Unit tests for the machine configuration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.opcodes import OpClass
+from repro.uarch.config import MachineConfig, default_config
+
+
+class TestValidation:
+    def test_default_valid(self):
+        default_config().validate()
+
+    @pytest.mark.parametrize("field,value", [
+        ("grid_width", 0), ("max_frames", 0), ("port_bandwidth", 0),
+        ("recovery", "undo"), ("dependence_policy", "psychic"),
+        ("next_block_predictor", "coin"),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ConfigError):
+            default_config(**{field: value})
+
+    def test_rejects_zero_latency(self):
+        latencies = dict(default_config().fu_latencies)
+        latencies[OpClass.INT_ALU] = 0
+        with pytest.raises(ConfigError):
+            default_config(fu_latencies=latencies)
+
+
+class TestDerive:
+    def test_derive_overrides(self):
+        base = default_config()
+        derived = base.derive(max_frames=16, recovery="flush")
+        assert derived.max_frames == 16
+        assert derived.recovery == "flush"
+        assert base.max_frames == 8           # base unchanged
+
+    def test_derive_copies_latencies(self):
+        base = default_config()
+        derived = base.derive()
+        derived.fu_latencies[OpClass.INT_ALU] = 99
+        assert base.fu_latencies[OpClass.INT_ALU] == 1
+
+
+class TestGeometry:
+    def test_tile_coords(self):
+        config = default_config(grid_width=4, grid_height=2)
+        assert config.n_tiles == 8
+        assert config.tile_coord(0) == (0, 0)
+        assert config.tile_coord(3) == (3, 0)
+        assert config.tile_coord(4) == (0, 1)
+
+    def test_instruction_mapping_interleaves(self):
+        config = default_config()
+        assert config.tile_of_instruction(0) == 0
+        assert config.tile_of_instruction(16) == 0
+        assert config.tile_of_instruction(17) == 1
+
+    def test_special_units_off_grid(self):
+        config = default_config()
+        assert config.control_coord[0] == -1
+        assert config.lsq_coord[0] == -1
+        assert config.control_coord != config.lsq_coord
+
+    def test_window_capacity(self):
+        assert default_config(max_frames=4).window_capacity == 512
+
+    def test_t1_rows_cover_key_parameters(self):
+        rows = dict(default_config().t1_rows())
+        assert "Recovery" in rows
+        assert "Instruction window" in rows
+        assert rows["Dependence policy"] == "aggressive"

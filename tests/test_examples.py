@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs end-to-end (at its own scale)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "dependence_speculation.py",
+            "window_scaling.py", "conflict_sweep.py",
+            "compile_and_run.py"} <= names
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "sum = 85344 (expected 85344)" in out
+    assert "dsre recovery" in out
+
+
+def test_dependence_speculation(capsys):
+    out = run_example("dependence_speculation.py", capsys)
+    assert "conservative" in out and "oracle" in out
+    assert "no flushes" in out
+
+
+@pytest.mark.slow
+def test_window_scaling(capsys):
+    out = run_example("window_scaling.py", capsys)
+    assert "32 frames" in out
+    assert "IPC gain" in out
+
+
+@pytest.mark.slow
+def test_conflict_sweep(capsys):
+    out = run_example("conflict_sweep.py", capsys)
+    assert "1.00" in out
+    assert "oracle" in out
+
+
+def test_compile_and_run(capsys):
+    out = run_example("compile_and_run.py", capsys)
+    assert "verified on every point" in out

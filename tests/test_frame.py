@@ -1,0 +1,102 @@
+"""Unit tests for in-flight frame state."""
+
+import pytest
+
+from repro.core.tokens import BRANCH_DEST, Token, write_dest
+from repro.errors import SimulationError
+from repro.isa import ProgramBuilder
+from repro.uarch.config import default_config
+from repro.uarch.frame import Frame
+
+
+def build_block():
+    pb = ProgramBuilder(entry="m")
+    b = pb.block("m")
+    v = b.movi(5)
+    b.write(1, v)
+    b.store(b.const(0x100), v)
+    b.load(b.const(0x108))
+    p = b.teq(v, imm=5)
+    b.branch_if(p, "m", "@halt")
+    b.write(2, p)
+    return pb.build().block("m")
+
+
+@pytest.fixture
+def frame():
+    return Frame(uid=7, seq=3, block=build_block(),
+                 config=default_config())
+
+
+class TestConstruction:
+    def test_nodes_created(self, frame):
+        assert len(frame.nodes) == len(frame.block.instructions)
+        assert all(n.frame_uid == 7 for n in frame.nodes)
+
+    def test_write_buffers(self, frame):
+        assert len(frame.write_buffers) == 2
+        assert frame.write_index_of_reg == {1: 0, 2: 1}
+
+    def test_lsid_map(self, frame):
+        store_idx = frame.block.instruction_of_lsid(0)
+        assert frame.node_of_lsid(0).index == store_idx
+
+    def test_branch_buffer_producers(self, frame):
+        assert len(frame.branch_buffer) == 2
+
+
+class TestOutputs:
+    def _branch_token(self, frame, label, final=False):
+        idx = frame.block.branch_indices[0]
+        return Token(7, BRANCH_DEST, ("inst", idx), 1, label, final)
+
+    def test_branch_label_none_initially(self, frame):
+        assert frame.branch_label is None
+        assert not frame.branch_final()
+
+    def test_branch_resolution(self, frame):
+        frame.branch_buffer.deposit(self._branch_token(frame, "m"))
+        assert frame.branch_label == "m"
+        assert not frame.branch_final()      # other branch not final yet
+
+    def test_branch_finality(self, frame):
+        i0, i1 = frame.block.branch_indices
+        frame.branch_buffer.deposit(
+            Token(7, BRANCH_DEST, ("inst", i0), 1, "m", True))
+        frame.branch_buffer.deposit(
+            Token(7, BRANCH_DEST, ("inst", i1), 1, None, True))
+        assert frame.branch_final()
+
+    def test_outputs_produced(self, frame):
+        assert not frame.outputs_produced()
+        producers0 = frame.write_buffers[0].producers()
+        producers1 = frame.write_buffers[1].producers()
+        frame.write_buffers[0].deposit(
+            Token(7, write_dest(0), producers0[0], 1, 5))
+        frame.write_buffers[1].deposit(
+            Token(7, write_dest(1), producers1[0], 1, 1))
+        assert not frame.outputs_produced()   # branch still missing
+        frame.branch_buffer.deposit(self._branch_token(frame, "m"))
+        assert frame.outputs_produced()
+
+    def test_final_reg_writes(self, frame):
+        producers0 = frame.write_buffers[0].producers()
+        frame.write_buffers[0].deposit(
+            Token(7, write_dest(0), producers0[0], 1, 42, True))
+        producers1 = frame.write_buffers[1].producers()
+        frame.write_buffers[1].deposit(
+            Token(7, write_dest(1), producers1[0], 1, 1, True))
+        assert frame.final_reg_writes() == {1: 42, 2: 1}
+        assert frame.writes_final()
+
+
+class TestAccounting:
+    def test_total_executions_starts_zero(self, frame):
+        assert frame.total_executions() == 0
+
+    def test_useful_instructions_counts_outcomes(self, frame):
+        assert frame.useful_instructions() == 0
+        node = frame.nodes[0]     # the MOVI
+        node.begin_execution()
+        node.complete_execution()
+        assert frame.useful_instructions() == 1

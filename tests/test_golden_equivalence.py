@@ -1,0 +1,91 @@
+"""Differential testing: the timing simulator must commit exactly the
+architectural state the golden model computes — for random programs, under
+every recovery mechanism, policy and window size.
+
+The processor's ``check_with_golden`` verifies every committed block
+(register writes, stores, successor) against the functional trace, so a
+single passing run is already a block-by-block equivalence proof; these
+tests additionally compare the complete final state.
+"""
+
+import pytest
+
+from repro.arch import run_program
+from repro.uarch import Processor, default_config
+from repro.workloads.randprog import generate
+
+SEEDS = list(range(24))
+
+
+def final_states_match(program, **overrides):
+    golden_trace, golden_state = run_program(program)
+    config = default_config(**overrides)
+    proc = Processor(program, config, golden=golden_trace)
+    proc.run()
+    assert proc.arch.regs == golden_state.regs
+    assert proc.arch.memory.same_contents(golden_state.memory)
+    return golden_trace
+
+
+class TestRandomProgramsEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_dsre_matches_golden(self, seed):
+        rp = generate(seed)
+        final_states_match(rp.program, recovery="dsre",
+                           dependence_policy="aggressive")
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_flush_matches_golden(self, seed):
+        rp = generate(seed)
+        final_states_match(rp.program, recovery="flush",
+                           dependence_policy="aggressive")
+
+    @pytest.mark.parametrize("seed", SEEDS[:12])
+    def test_storeset_matches_golden(self, seed):
+        rp = generate(seed)
+        final_states_match(rp.program, recovery="flush",
+                           dependence_policy="storeset")
+
+    @pytest.mark.parametrize("seed", SEEDS[:12])
+    def test_oracle_matches_golden(self, seed):
+        rp = generate(seed)
+        final_states_match(rp.program, recovery="flush",
+                           dependence_policy="oracle")
+
+    @pytest.mark.parametrize("seed", SEEDS[:8])
+    def test_dsre_with_storeset_matches_golden(self, seed):
+        rp = generate(seed)
+        final_states_match(rp.program, recovery="dsre",
+                           dependence_policy="storeset")
+
+    @pytest.mark.parametrize("seed", SEEDS[:8])
+    @pytest.mark.parametrize("frames", [1, 3, 16])
+    def test_window_sizes_match_golden(self, seed, frames):
+        rp = generate(seed)
+        final_states_match(rp.program, recovery="dsre", max_frames=frames)
+
+    @pytest.mark.parametrize("seed", SEEDS[:8])
+    def test_tiny_grid_matches_golden(self, seed):
+        rp = generate(seed)
+        final_states_match(rp.program, recovery="dsre",
+                           grid_width=2, grid_height=2)
+
+    @pytest.mark.parametrize("seed", SEEDS[:8])
+    def test_slow_network_matches_golden(self, seed):
+        rp = generate(seed)
+        final_states_match(rp.program, recovery="dsre", hop_latency=3,
+                           port_bandwidth=1)
+
+
+class TestGeneratorProperties:
+    def test_deterministic(self):
+        a = generate(7)
+        b = generate(7)
+        assert str(a.program) == str(b.program)
+
+    def test_distinct_seeds_differ(self):
+        assert str(generate(1).program) != str(generate(2).program)
+
+    def test_bigger_programs(self):
+        rp = generate(3, n_blocks=8, ops_per_block=14)
+        final_states_match(rp.program, recovery="dsre")

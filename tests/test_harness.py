@@ -1,0 +1,85 @@
+"""Tests for the experiment harness (runners, experiments, CLI)."""
+
+import pytest
+
+from repro.harness import (EXPERIMENTS, POINT_ORDER, STANDARD_POINTS,
+                           run_point, run_points, table_t1)
+from repro.harness.cli import main as cli_main
+from repro.workloads import KERNELS
+
+
+@pytest.fixture(scope="module")
+def small_kernel():
+    return KERNELS["queue"].build(16)
+
+
+class TestRunner:
+    def test_standard_points_complete(self):
+        assert set(POINT_ORDER) == set(STANDARD_POINTS)
+        assert STANDARD_POINTS["dsre"] == ("aggressive", "dsre")
+        assert STANDARD_POINTS["storeset"] == ("storeset", "flush")
+
+    def test_run_point(self, small_kernel):
+        result = run_point(small_kernel, "dsre")
+        assert result.stats.committed_blocks > 0
+        assert result.config.recovery == "dsre"
+
+    def test_run_point_with_overrides(self, small_kernel):
+        result = run_point(small_kernel, "dsre", max_frames=2)
+        assert result.config.max_frames == 2
+
+    def test_run_points_shares_golden(self, small_kernel):
+        results = run_points(small_kernel, points=["dsre", "oracle"])
+        assert set(results) == {"dsre", "oracle"}
+        assert hasattr(small_kernel, "_golden_cache")
+
+    def test_wrong_result_detected(self, small_kernel):
+        # Corrupt the expectation: the runner must flag it.
+        small = KERNELS["queue"].build(12)
+        small.expected_regs[2] = 12345
+        with pytest.raises(AssertionError, match="wrong final state"):
+            run_point(small, "dsre")
+
+
+class TestExperiments:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {"t1", "t2", "e1", "e2", "e3", "e4",
+                                    "e5", "e6", "e7", "e8"}
+
+    def test_t1(self):
+        table = table_t1()
+        assert len(table.rows) >= 10
+
+    def test_e1_on_subset(self):
+        from repro.harness import e1_main
+        table = e1_main(fast=True, kernels=["queue", "memaccum"])
+        assert "geomean" in table.column("kernel")
+        assert 0 < table.data["geomean"]["dsre"]
+
+    def test_e2_on_subset(self):
+        from repro.harness import e2_window
+        table = e2_window(fast=True, frames=(1, 4),
+                          kernels=("memaccum",))
+        series = table.data["ipc"][("memaccum", "dsre")]
+        assert len(series) == 2
+
+    def test_e7_small(self):
+        from repro.harness import e7_conflict_sweep
+        table = e7_conflict_sweep(fast=True, rates=(0.0, 1.0))
+        assert table.data["norm"]["oracle"] == [1.0, 1.0]
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out and "t2" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli_main(["zzz"]) == 2
+
+    def test_t1_runs(self, capsys):
+        assert cli_main(["t1"]) == 0
+        out = capsys.readouterr().out
+        assert "Machine configuration" in out
+        assert "regenerated" in out

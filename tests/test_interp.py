@@ -1,0 +1,222 @@
+"""Functional (golden-model) interpreter semantics tests."""
+
+import pytest
+
+from repro.arch import Interpreter, run_program
+from repro.errors import ExecutionError
+from repro.isa import Instruction, Opcode, ProgramBuilder, Slot, Target, \
+    TargetKind
+from repro.isa.block import Block, WriteSlot
+from repro.isa.program import Program
+
+from .conftest import build_single_block
+
+
+class TestBasicExecution:
+    def test_constant_write(self):
+        prog = build_single_block(lambda b: b.write(1, b.movi(42)))
+        trace, state = run_program(prog)
+        assert state.get_reg(1) == 42
+        assert trace.halted
+        assert trace.block_count == 1
+
+    def test_multi_block_register_flow(self, counter_program):
+        trace, state = run_program(counter_program)
+        assert state.get_reg(1) == 8
+        assert state.get_reg(2) == sum(range(8))
+        assert trace.block_count == 1 + 8
+
+    def test_trace_counts(self, counter_program):
+        trace, _ = run_program(counter_program)
+        assert trace.dynamic_instructions > 0
+        record = trace.records[0]
+        assert record.name == "init"
+        assert record.next_block == "loop"
+        assert record.reg_writes == {1: 0, 2: 0}
+
+    def test_max_blocks_guard(self):
+        pb = ProgramBuilder(entry="spin")
+        b = pb.block("spin")
+        b.write(1, b.movi(1))
+        b.branch("spin")
+        with pytest.raises(ExecutionError, match="max_blocks"):
+            run_program(pb.build(), max_blocks=10)
+
+
+class TestMemorySemantics:
+    def test_store_then_load_same_block(self):
+        def body(b):
+            addr = b.const(0x100)
+            b.store(addr, b.movi(77))
+            b.write(1, b.load(addr))
+        _, state = run_program(build_single_block(body))
+        assert state.get_reg(1) == 77
+
+    def test_load_before_store_sees_old_value(self):
+        def body(b):
+            addr = b.const(0x1000)
+            b.write(1, b.load(addr))     # lsid 0
+            b.store(addr, b.movi(5))     # lsid 1
+        pb_prog = build_single_block(body)
+        pb2 = ProgramBuilder(entry="m")
+        # rebuild with data segment
+        b = pb2.block("m")
+        addr = b.const(0x1000)
+        b.write(1, b.load(addr))
+        b.store(addr, b.movi(5))
+        b.branch("@halt")
+        pb2.data_words("d", 0x1000, [9])
+        _, state = run_program(pb2.build())
+        assert state.get_reg(1) == 9
+        assert state.memory.read_word(0x1000) == 5
+
+    def test_partial_byte_forwarding(self):
+        def body(b):
+            addr = b.const(0x100)
+            b.store(addr, b.movi(0xAB), width=1, offset=1)
+            b.write(1, b.load(addr))     # byte 1 forwarded, rest memory
+        _, state = run_program(build_single_block(body))
+        assert state.get_reg(1) == 0xAB00
+
+    def test_narrow_load_zero_extends(self):
+        pb = ProgramBuilder(entry="m")
+        b = pb.block("m")
+        b.write(1, b.load(b.const(0x100), width=2))
+        b.branch("@halt")
+        pb.data_words("d", 0x100, [0xFFFF_FFFF_FFFF_FFFF])
+        _, state = run_program(pb.build())
+        assert state.get_reg(1) == 0xFFFF
+
+    def test_lsid_order_respected_between_independent_ops(self):
+        # Store (lsid 0) then load (lsid 1) of the same address where the
+        # dataflow would allow the load to fire first.
+        def body(b):
+            addr = b.const(0x100)
+            slow = b.mul(b.mul(b.movi(3), imm=5), imm=7)
+            b.store(addr, slow)          # lsid 0, data is slow
+            b.write(1, b.load(addr))     # lsid 1, ready immediately
+        _, state = run_program(build_single_block(body))
+        assert state.get_reg(1) == 105
+
+    def test_inconsistent_lsid_dataflow_detected(self):
+        # load (lsid 1) feeds store (lsid 0): memory order contradicts
+        # dataflow -> interpreter must detect the livelock.
+        movi = Instruction(Opcode.MOVI, imm=0x100,
+                           targets=[Target(TargetKind.INST, 1, Slot.OP0),
+                                    Target(TargetKind.INST, 2, Slot.OP0)])
+        load = Instruction(Opcode.LOAD, lsid=1,
+                           targets=[Target(TargetKind.INST, 2, Slot.OP1),
+                                    Target(TargetKind.WRITE, 0)])
+        store = Instruction(Opcode.STORE, lsid=0)
+        bro = Instruction(Opcode.BRO, branch_target="@halt")
+        block = Block("m", writes=[WriteSlot(1)],
+                      instructions=[movi, load, store, bro])
+        program = Program(entry="m", blocks=[block])
+        with pytest.raises(ExecutionError, match="never performed"):
+            run_program(program)
+
+
+class TestPredication:
+    def test_mismatched_pred_nullifies(self):
+        def body(b):
+            p = b.movi(0)
+            b.write(1, b.select(p, b.movi(1), b.movi(2)))
+        trace, state = run_program(build_single_block(body))
+        assert state.get_reg(1) == 2
+        assert trace.records[0].nulled == 1
+
+    def test_null_propagates_through_chain(self):
+        def body(b):
+            p = b.movi(1)
+            dead = b.mov(b.movi(5), pred=(p, False))   # null
+            chained = b.add(dead, imm=1)               # null input -> null
+            live = b.mov(b.movi(9), pred=(p, True))
+            # chained and live both target the same write slot.
+            b.write(1, chained)
+            b.write(1, live)
+        _, state = run_program(build_single_block(body))
+        assert state.get_reg(1) == 9
+
+    def test_predicated_branches(self):
+        pb = ProgramBuilder(entry="m")
+        b = pb.block("m")
+        p = b.tgt(b.movi(5), imm=3)
+        b.write(1, b.movi(0))
+        b.branch_if(p, "t", "f")
+        t = pb.block("t")
+        t.write(2, t.movi(1))
+        t.branch("@halt")
+        f = pb.block("f")
+        f.write(2, f.movi(2))
+        f.branch("@halt")
+        trace, state = run_program(pb.build())
+        assert state.get_reg(2) == 1
+        assert trace.records[0].next_block == "t"
+
+    def test_all_null_write_is_error(self):
+        def body(b):
+            p = b.movi(0)
+            b.write(1, b.mov(b.movi(5), pred=p))   # only writer, nullified
+        with pytest.raises(ExecutionError, match="all-null"):
+            run_program(build_single_block(body))
+
+    def test_no_branch_fired_is_error(self):
+        pb = ProgramBuilder(entry="m")
+        b = pb.block("m")
+        p = b.movi(0)
+        b.write(1, b.movi(1))
+        b.branch("@halt", pred=p)     # predicated off -> no exit
+        with pytest.raises(ExecutionError, match="branch"):
+            run_program(pb.build())
+
+    def test_two_branches_fired_is_error(self):
+        pb = ProgramBuilder(entry="m")
+        b = pb.block("m")
+        p = b.movi(1)
+        b.write(1, b.movi(1))
+        b.branch("@halt", pred=p)
+        b.branch("@halt", pred=(p, True))   # also fires
+        with pytest.raises(ExecutionError, match="branches"):
+            run_program(pb.build())
+
+
+class TestTraceDependences:
+    def test_cross_block_dependence_recorded(self, store_load_program):
+        trace, state = run_program(store_load_program)
+        assert state.get_reg(2) == 1234
+        deps = trace.load_dependences()
+        assert deps[(1, 0)] == (0, 0)
+        assert trace.dependence_distance_histogram() == {1: 1}
+
+    def test_in_block_dependence_distance_zero(self):
+        def body(b):
+            addr = b.const(0x100)
+            b.store(addr, b.movi(7))
+            b.write(1, b.load(addr))
+        trace, _ = run_program(build_single_block(body))
+        assert trace.dependence_distance_histogram() == {0: 1}
+
+    def test_load_from_initial_memory_has_no_src(self):
+        pb = ProgramBuilder(entry="m")
+        b = pb.block("m")
+        b.write(1, b.load(b.const(0x100)))
+        b.branch("@halt")
+        pb.data_words("d", 0x100, [3])
+        trace, _ = run_program(pb.build())
+        assert trace.records[0].loads[0].src_store is None
+
+    def test_multi_writer_flag(self):
+        def body(b):
+            addr = b.const(0x100)
+            b.store(addr, b.movi(0x11), width=1)
+            b.store(addr, b.movi(0x22), width=1, offset=1)
+            b.write(1, b.load(addr, width=2))
+        trace, state = run_program(build_single_block(body))
+        assert state.get_reg(1) == 0x2211
+        assert trace.records[0].loads[0].multi_writer
+
+    def test_interpreter_state_matches_run_program(self, counter_program):
+        interp = Interpreter(counter_program)
+        interp.run()
+        _, state = run_program(counter_program)
+        assert interp.state == state

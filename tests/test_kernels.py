@@ -1,0 +1,126 @@
+"""Kernel-suite tests: every kernel self-checks under the golden model and
+under the timing simulator at the key machine points."""
+
+import pytest
+
+from repro.arch import run_program
+from repro.harness.runner import golden_of, run_point
+from repro.workloads import KERNELS, build_kernel, get_kernel
+from repro.workloads.registry import kernel_names, kernels_in_category
+
+ALL = sorted(KERNELS)
+
+
+class TestRegistry:
+    def test_fourteen_kernels(self):
+        assert len(KERNELS) == 14
+
+    def test_all_categories_covered(self):
+        categories = {spec.category for spec in KERNELS.values()}
+        assert categories == {"streaming", "pointer", "irregular", "serial"}
+
+    def test_get_kernel_unknown(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="unknown kernel"):
+            get_kernel("nope")
+
+    def test_kernels_in_category(self):
+        streaming = kernels_in_category("streaming")
+        assert {s.name for s in streaming} >= {"vecsum", "dotprod"}
+
+    def test_build_kernel_default_scale(self):
+        inst = build_kernel("vecsum")
+        assert inst.approx_blocks > 50
+
+    def test_names_match_specs(self):
+        for name in kernel_names():
+            assert KERNELS[name].name == name
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("name", ALL)
+    def test_kernel_self_checks(self, name):
+        inst = KERNELS[name].build_test()
+        _, state = run_program(inst.program, inst.initial_regs)
+        assert inst.check(state) == []
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_kernel_has_expectations(self, name):
+        inst = KERNELS[name].build_test()
+        assert inst.expected_regs or inst.expected_mem_words
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_check_detects_corruption(self, name):
+        inst = KERNELS[name].build_test()
+        _, state = run_program(inst.program, inst.initial_regs)
+        if inst.expected_regs:
+            reg = next(iter(inst.expected_regs))
+            state.set_reg(reg, state.get_reg(reg) + 1)
+        else:
+            addr = next(iter(inst.expected_mem_words))
+            state.memory.write_word(
+                addr, state.memory.read_word(addr) ^ 1)
+        assert inst.check(state) != []
+
+
+class TestTimingCorrectness:
+    @pytest.mark.parametrize("name", ALL)
+    def test_dsre(self, name):
+        inst = KERNELS[name].build_test()
+        result = run_point(inst, "dsre")
+        assert result.stats.committed_blocks > 0
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_storeset_flush(self, name):
+        inst = KERNELS[name].build_test()
+        result = run_point(inst, "storeset")
+        assert result.stats.committed_blocks > 0
+
+    @pytest.mark.parametrize("name", ["stencil", "memaccum", "fibmem"])
+    def test_serial_kernels_redeliver_under_dsre(self, name):
+        inst = KERNELS[name].build_test()
+        result = run_point(inst, "dsre")
+        assert result.stats.load_redeliveries > 0
+        assert result.stats.violation_flushes == 0
+
+    @pytest.mark.parametrize("name", ["stencil", "memaccum", "fibmem"])
+    def test_serial_kernels_violate_under_aggressive_flush(self, name):
+        inst = KERNELS[name].build_test()
+        result = run_point(inst, "aggressive")
+        assert result.stats.violation_flushes > 0
+
+    @pytest.mark.parametrize("name", ["vecsum", "dotprod", "memcpy"])
+    def test_streaming_kernels_clean_under_dsre(self, name):
+        inst = KERNELS[name].build_test()
+        result = run_point(inst, "dsre")
+        assert result.stats.load_redeliveries == 0
+
+    def test_golden_trace_memoised(self):
+        inst = KERNELS["vecsum"].build_test()
+        assert golden_of(inst) is golden_of(inst)
+
+
+class TestDependenceProfiles:
+    """The kernels must exercise the dependence regimes DESIGN.md claims."""
+
+    @pytest.mark.parametrize("name", ["stencil", "fibmem", "memaccum",
+                                      "memmove", "queue"])
+    def test_serial_kernels_have_near_dependences(self, name):
+        inst = KERNELS[name].build_test()
+        trace = golden_of(inst)
+        hist = trace.dependence_distance_histogram()
+        near = sum(v for d, v in hist.items() if 1 <= d <= 8)
+        assert near > 0
+
+    @pytest.mark.parametrize("name", ["vecsum", "dotprod", "memcpy", "crc",
+                                      "listsum"])
+    def test_streaming_kernels_have_none(self, name):
+        inst = KERNELS[name].build_test()
+        trace = golden_of(inst)
+        hist = trace.dependence_distance_histogram()
+        assert sum(v for d, v in hist.items() if d >= 1) == 0
+
+    def test_queue_dependences_at_lag(self):
+        inst = KERNELS["queue"].build_test()
+        hist = golden_of(inst).dependence_distance_histogram()
+        assert set(hist) == {3}

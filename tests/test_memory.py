@@ -1,0 +1,115 @@
+"""Unit tests for sparse memory and architectural state."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.memory import PAGE_SIZE, SparseMemory
+from repro.arch.state import ArchState
+from repro.isa.program import DataSegment
+
+
+class TestSparseMemory:
+    def test_uninitialised_reads_zero(self):
+        mem = SparseMemory()
+        assert mem.read_word(0x1234) == 0
+        assert mem.read_bytes(10**9, 4) == b"\x00" * 4
+
+    def test_write_read_roundtrip(self):
+        mem = SparseMemory()
+        mem.write_word(0x100, 0xDEADBEEFCAFEBABE)
+        assert mem.read_word(0x100) == 0xDEADBEEFCAFEBABE
+
+    def test_little_endian(self):
+        mem = SparseMemory()
+        mem.write_int(0x100, 0x0102030405060708, 8)
+        assert mem.read_bytes(0x100, 1) == b"\x08"
+        assert mem.read_int(0x100, 2) == 0x0708
+
+    @pytest.mark.parametrize("width", [1, 2, 4, 8])
+    def test_widths(self, width):
+        mem = SparseMemory()
+        value = (1 << (8 * width)) - 3
+        mem.write_int(0x20, value, width)
+        assert mem.read_int(0x20, width) == value
+
+    def test_narrow_write_truncates(self):
+        mem = SparseMemory()
+        mem.write_int(0x20, 0x1FF, 1)
+        assert mem.read_int(0x20, 1) == 0xFF
+        assert mem.read_int(0x21, 1) == 0
+
+    def test_cross_page_access(self):
+        mem = SparseMemory()
+        addr = PAGE_SIZE - 3
+        mem.write_int(addr, 0x0102030405060708, 8)
+        assert mem.read_int(addr, 8) == 0x0102030405060708
+
+    def test_segments_initialise(self):
+        seg = DataSegment.from_words("d", 0x1000, [7, 8])
+        mem = SparseMemory([seg])
+        assert mem.read_word(0x1000) == 7
+        assert mem.read_word(0x1008) == 8
+
+    def test_copy_is_independent(self):
+        mem = SparseMemory()
+        mem.write_word(0, 1)
+        clone = mem.copy()
+        clone.write_word(0, 2)
+        assert mem.read_word(0) == 1
+        assert clone.read_word(0) == 2
+
+    def test_same_contents_ignores_zero_pages(self):
+        a = SparseMemory()
+        b = SparseMemory()
+        a.write_word(0x5000, 0)         # allocates a zero page
+        assert a.same_contents(b)
+        a.write_word(0x5000, 9)
+        assert not a.same_contents(b)
+
+    def test_nonzero_words(self):
+        mem = SparseMemory()
+        mem.write_word(0x10, 5)
+        mem.write_word(0x40, 6)
+        assert mem.nonzero_words() == [(0x10, 5), (0x40, 6)]
+
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=1 << 20),
+        st.binary(min_size=1, max_size=32)), max_size=20))
+    def test_last_write_wins(self, writes):
+        mem = SparseMemory()
+        shadow = {}
+        for addr, data in writes:
+            mem.write_bytes(addr, data)
+            for i, byte in enumerate(data):
+                shadow[addr + i] = byte
+        for addr, byte in shadow.items():
+            assert mem.read_bytes(addr, 1)[0] == byte
+
+
+class TestArchState:
+    def test_initial_regs(self):
+        state = ArchState(initial_regs={3: -1})
+        assert state.get_reg(3) == (1 << 64) - 1
+        assert state.get_reg(0) == 0
+
+    def test_set_reg_wraps(self):
+        state = ArchState()
+        state.set_reg(1, 1 << 64)
+        assert state.get_reg(1) == 0
+
+    def test_copy(self):
+        state = ArchState(initial_regs={1: 7})
+        state.memory.write_word(0, 9)
+        clone = state.copy()
+        clone.set_reg(1, 8)
+        clone.memory.write_word(0, 10)
+        assert state.get_reg(1) == 7
+        assert state.memory.read_word(0) == 9
+
+    def test_equality(self):
+        a = ArchState(initial_regs={1: 7})
+        b = ArchState(initial_regs={1: 7})
+        assert a == b
+        b.memory.write_word(0x10, 1)
+        assert a != b

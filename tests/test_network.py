@@ -1,0 +1,85 @@
+"""Unit tests for the operand mesh network model."""
+
+from repro.uarch.config import default_config
+from repro.uarch.network import Message, MsgKind, OperandNetwork
+
+
+def msg(dest=(0, 0), final=False, payload=None):
+    return Message(MsgKind.TOKEN, dest, payload, final)
+
+
+class TestLatency:
+    def test_manhattan_distance(self):
+        config = default_config()
+        assert config.route_latency((0, 0), (3, 3)) == 6
+        assert config.route_latency((0, 0), (1, 0)) == 1
+
+    def test_local_latency(self):
+        config = default_config(local_latency=1)
+        assert config.route_latency((2, 2), (2, 2)) == 1
+
+    def test_hop_latency_scales(self):
+        config = default_config(hop_latency=3)
+        assert config.route_latency((0, 0), (2, 0)) == 6
+
+    def test_delivery_time(self):
+        net = OperandNetwork(default_config())
+        net.now = 10
+        net.send((0, 0), msg(dest=(2, 0)))
+        assert net.deliver_due(11) == []
+        assert len(net.deliver_due(12)) == 1
+
+    def test_minimum_one_cycle(self):
+        net = OperandNetwork(default_config(local_latency=0))
+        net.now = 5
+        net.send((1, 1), msg(dest=(1, 1)))
+        assert len(net.deliver_due(6)) == 1
+
+    def test_extra_latency(self):
+        net = OperandNetwork(default_config())
+        net.now = 0
+        net.send((0, 0), msg(dest=(1, 0)), extra_latency=10)
+        for cycle in range(1, 11):
+            assert net.deliver_due(cycle) == []
+        assert len(net.deliver_due(11)) == 1
+
+
+class TestContention:
+    def test_port_bandwidth_enforced(self):
+        config = default_config(port_bandwidth=2)
+        net = OperandNetwork(config)
+        net.now = 0
+        for _ in range(5):
+            net.send((0, 0), msg(dest=(1, 0)))
+        assert len(net.deliver_due(1)) == 2
+        assert len(net.deliver_due(2)) == 2
+        assert len(net.deliver_due(3)) == 1
+        assert net.stats.contention_slips == 4   # 3 slipped at c1, 1 at c2
+
+    def test_different_destinations_no_contention(self):
+        config = default_config(port_bandwidth=1)
+        net = OperandNetwork(config)
+        net.now = 0
+        net.send((0, 0), msg(dest=(1, 0)))
+        net.send((0, 0), msg(dest=(0, 1)))
+        assert len(net.deliver_due(1)) == 2
+
+
+class TestStats:
+    def test_counts(self):
+        net = OperandNetwork(default_config())
+        net.now = 0
+        net.send((0, 0), msg(dest=(1, 0)))
+        net.send((0, 0), msg(dest=(1, 0), final=True))
+        net.deliver_due(1)
+        assert net.stats.sent == 2
+        assert net.stats.delivered == 2
+        assert net.stats.final_sent == 1
+
+    def test_next_event_cycle(self):
+        net = OperandNetwork(default_config())
+        assert net.next_event_cycle() is None
+        net.now = 4
+        net.send((0, 0), msg(dest=(2, 0)))
+        assert net.next_event_cycle() == 6
+        assert net.in_flight == 1

@@ -1,0 +1,126 @@
+"""Unit tests for dependence-speculation policies."""
+
+import pytest
+
+from repro.arch import run_program
+from repro.spec import (AggressivePolicy, ConservativePolicy, OraclePolicy,
+                        StoreSetPolicy, build_policy)
+from repro.spec.policy import LoadQuery, StoreView
+from repro.uarch.config import default_config
+
+
+def load_q(name="blk", lsid=0, seq=5, addr=0x100):
+    return LoadQuery((name, lsid), seq, lsid, addr, 8)
+
+
+def store_v(name="blk", lsid=1, seq=4, resolved=False):
+    return StoreView((name, lsid), seq, lsid, resolved)
+
+
+class TestTrivialPolicies:
+    def test_conservative_waits_on_any_unresolved(self):
+        policy = ConservativePolicy()
+        assert policy.should_wait(load_q(), [store_v(resolved=False)])
+        assert not policy.should_wait(load_q(), [store_v(resolved=True)])
+        assert not policy.should_wait(load_q(), [])
+
+    def test_aggressive_never_waits(self):
+        policy = AggressivePolicy()
+        assert not policy.should_wait(load_q(), [store_v(resolved=False)])
+
+
+class TestStoreSet:
+    def test_untrained_never_waits(self):
+        policy = StoreSetPolicy(64)
+        assert not policy.should_wait(load_q(), [store_v()])
+
+    def test_trained_pair_waits(self):
+        policy = StoreSetPolicy(64)
+        policy.on_misspeculation(("blk", 0), ("blk", 1))
+        assert policy.should_wait(load_q("blk", 0), [store_v("blk", 1)])
+
+    def test_trained_pair_released_when_resolved(self):
+        policy = StoreSetPolicy(64)
+        policy.on_misspeculation(("blk", 0), ("blk", 1))
+        assert not policy.should_wait(
+            load_q("blk", 0), [store_v("blk", 1, resolved=True)])
+
+    def test_unrelated_store_ignored(self):
+        policy = StoreSetPolicy(64)
+        policy.on_misspeculation(("blk", 0), ("blk", 1))
+        assert not policy.should_wait(load_q("blk", 0),
+                                      [store_v("other", 3)])
+
+    def test_merge_rule(self):
+        policy = StoreSetPolicy(64)
+        policy.on_misspeculation(("a", 0), ("a", 1))
+        policy.on_misspeculation(("b", 0), ("b", 1))
+        assert policy.ssid_of(("a", 0)) != policy.ssid_of(("b", 0))
+        policy.on_misspeculation(("a", 0), ("b", 1))
+        assert policy.ssid_of(("a", 0)) == policy.ssid_of(("b", 1))
+        assert policy.stats.merges == 1
+
+    def test_join_existing_set(self):
+        policy = StoreSetPolicy(64)
+        policy.on_misspeculation(("a", 0), ("a", 1))
+        policy.on_misspeculation(("a", 0), ("a", 3))
+        assert policy.ssid_of(("a", 1)) == policy.ssid_of(("a", 3))
+
+    def test_aliasing_with_tiny_table(self):
+        policy = StoreSetPolicy(2)
+        policy.on_misspeculation(("a", 0), ("a", 1))
+        # With only 2 entries, many static ids collide: some unrelated op
+        # must share an SSIT entry with one of the trained ones.
+        hits = sum(policy.ssid_of((f"x{i}", i % 4)) is not None
+                   for i in range(32))
+        assert hits > 0
+
+    def test_too_small_table_rejected(self):
+        with pytest.raises(ValueError):
+            StoreSetPolicy(1)
+
+
+class TestOracle:
+    def test_waits_exactly_for_true_producer(self, store_load_program):
+        trace, _ = run_program(store_load_program)
+        policy = OraclePolicy(trace)
+        query = LoadQuery(("b", 0), 1, 0, 0x2000, 8)
+        producer = StoreView(("a", 0), 0, 0, resolved=False)
+        other = StoreView(("a", 5), 0, 5, resolved=False)
+        assert policy.should_wait(query, [producer])
+        assert not policy.should_wait(query, [other])
+        assert not policy.should_wait(
+            query, [StoreView(("a", 0), 0, 0, resolved=True)])
+
+    def test_no_producer_no_wait(self, counter_program):
+        trace, _ = run_program(counter_program)
+        policy = OraclePolicy(trace)
+        query = LoadQuery(("loop", 0), 1, 0, 0x100, 8)
+        assert not policy.should_wait(query, [store_v()])
+
+    def test_wrong_path_is_aggressive(self, store_load_program):
+        trace, _ = run_program(store_load_program)
+        policy = OraclePolicy(trace)
+        wrong = LoadQuery(("zzz", 0), 1, 0, 0x2000, 8)
+        assert not policy.on_correct_path(wrong)
+        assert not policy.should_wait(
+            wrong, [StoreView(("a", 0), 0, 0, resolved=False)])
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("conservative", ConservativePolicy),
+        ("aggressive", AggressivePolicy),
+        ("storeset", StoreSetPolicy),
+    ])
+    def test_build(self, name, cls):
+        config = default_config(dependence_policy=name)
+        assert isinstance(build_policy(config), cls)
+
+    def test_oracle_requires_trace(self, counter_program):
+        from repro.errors import ConfigError
+        config = default_config(dependence_policy="oracle")
+        with pytest.raises(ConfigError):
+            build_policy(config)
+        trace, _ = run_program(counter_program)
+        assert isinstance(build_policy(config, trace), OraclePolicy)

@@ -1,0 +1,93 @@
+"""Unit tests for next-block prediction."""
+
+from repro.arch import run_program
+from repro.isa import Instruction, Opcode
+from repro.isa.block import Block
+from repro.uarch.config import default_config
+from repro.uarch.predictor import (LastTargetPredictor, PerfectPredictor,
+                                   build_predictor)
+
+
+def block_with_successors(name, *labels):
+    if len(labels) == 1:
+        insts = [Instruction(Opcode.BRO, branch_target=labels[0])]
+        return Block(name, instructions=insts)
+    movi = Instruction(Opcode.MOVI, imm=1)
+    from repro.isa.instruction import Slot, Target, TargetKind
+    insts = [movi]
+    for i, label in enumerate(labels):
+        movi.targets.append(Target(TargetKind.INST, i + 1, Slot.PRED))
+        insts.append(Instruction(Opcode.BRO, branch_target=label,
+                                 pred=(i == 0)))
+    return Block(name, instructions=insts)
+
+
+class TestLastTarget:
+    def test_cold_predicts_first_static_successor(self):
+        pred = LastTargetPredictor()
+        block = block_with_successors("a", "x", "y")
+        assert pred.predict(block, 0) == "x"
+
+    def test_learns_observed_target(self):
+        pred = LastTargetPredictor()
+        block = block_with_successors("a", "x", "y")
+        pred.update(block, 0, actual="y", predicted="x")
+        assert pred.predict(block, 1) == "y"
+
+    def test_hysteresis_resists_single_flip(self):
+        pred = LastTargetPredictor()
+        block = block_with_successors("a", "x", "y")
+        for _ in range(3):
+            pred.update(block, 0, actual="y", predicted="y")
+        pred.update(block, 0, actual="x", predicted="y")
+        assert pred.predict(block, 0) == "y"       # counter not exhausted
+        for _ in range(4):
+            pred.update(block, 0, actual="x", predicted="y")
+        assert pred.predict(block, 0) == "x"
+
+    def test_capacity_eviction(self):
+        pred = LastTargetPredictor(entries=2)
+        blocks = [block_with_successors(f"b{i}", "x", "y") for i in range(3)]
+        for b in blocks:
+            pred.update(b, 0, actual="y", predicted="x")
+        # b0 was evicted; falls back to static successor.
+        assert pred.predict(blocks[0], 0) == "x"
+        assert pred.predict(blocks[2], 0) == "y"
+
+    def test_accuracy_stat(self):
+        pred = LastTargetPredictor()
+        block = block_with_successors("a", "x")
+        pred.update(block, 0, actual="x", predicted="x")
+        pred.update(block, 1, actual="y", predicted="x")
+        assert pred.stats.predictions == 2
+        assert pred.stats.mispredictions == 1
+        assert pred.stats.accuracy == 0.5
+
+
+class TestPerfect:
+    def test_replays_trace(self, counter_program):
+        trace, _ = run_program(counter_program)
+        pred = PerfectPredictor(trace)
+        assert pred.predict(counter_program.block("init"), 0) == "loop"
+        assert pred.predict(counter_program.block("loop"), 1) == "loop"
+        last = trace.block_count - 1
+        assert pred.predict(counter_program.block("loop"), last) == "@halt"
+
+    def test_off_path_predicts_halt(self, counter_program):
+        trace, _ = run_program(counter_program)
+        pred = PerfectPredictor(trace)
+        assert pred.predict(counter_program.block("init"), 3) == "@halt"
+
+
+class TestFactory:
+    def test_build_lasttarget(self):
+        pred = build_predictor(default_config(), None)
+        assert isinstance(pred, LastTargetPredictor)
+
+    def test_build_perfect_requires_trace(self, counter_program):
+        import pytest
+        config = default_config(next_block_predictor="perfect")
+        with pytest.raises(ValueError):
+            build_predictor(config, None)
+        trace, _ = run_program(counter_program)
+        assert isinstance(build_predictor(config, trace), PerfectPredictor)

@@ -1,0 +1,198 @@
+"""Integration tests of the timing processor (golden checking always on)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa import ProgramBuilder
+from repro.uarch import Processor, default_config
+
+from .conftest import build_single_block, run_timing
+
+
+class TestBasicPrograms:
+    def test_single_block(self):
+        prog = build_single_block(lambda b: b.write(1, b.movi(42)))
+        result, arch = run_timing(prog)
+        assert arch.get_reg(1) == 42
+        assert result.stats.committed_blocks == 1
+        assert result.stats.cycles > 0
+
+    def test_loop(self, counter_program):
+        result, arch = run_timing(counter_program)
+        assert arch.get_reg(2) == sum(range(8))
+        assert result.stats.committed_blocks == 9
+
+    def test_cross_block_memory(self, store_load_program):
+        result, arch = run_timing(store_load_program)
+        assert arch.get_reg(2) == 1234
+
+    def test_ipc_positive(self, counter_program):
+        result, _ = run_timing(counter_program)
+        assert 0 < result.stats.ipc < 16
+
+    def test_summary_renders(self, counter_program):
+        result, _ = run_timing(counter_program)
+        text = result.summary()
+        assert "IPC" in text and "cycles" in text
+
+    def test_initial_regs(self):
+        prog = build_single_block(
+            lambda b: b.write(2, b.add(b.read(1), imm=5)))
+        result, arch = run_timing(prog, initial_regs={1: 10})
+        assert arch.get_reg(2) == 15
+
+
+class TestPredicationTiming:
+    def test_select(self):
+        def body(b):
+            p = b.tlt(b.movi(3), imm=5)
+            b.write(1, b.select(p, b.movi(100), b.movi(200)))
+        result, arch = run_timing(build_single_block(body))
+        assert arch.get_reg(1) == 100
+
+    def test_predicated_store(self):
+        def body(b):
+            p = b.movi(1)
+            b.store(b.const(0x500), b.movi(9), pred=p)
+            b.store(b.const(0x508), b.movi(8), pred=(p, False))  # nullified
+            b.write(1, b.movi(0))
+        result, arch = run_timing(build_single_block(body))
+        assert arch.memory.read_word(0x500) == 9
+        assert arch.memory.read_word(0x508) == 0
+
+    def test_predicated_branch_loop(self, counter_program):
+        for recovery in ("flush", "dsre"):
+            result, arch = run_timing(counter_program, recovery=recovery)
+            assert arch.get_reg(1) == 8
+
+
+class TestControlSpeculation:
+    def _branchy_program(self):
+        """Alternating taken/not-taken pattern defeats the last-target
+        predictor, forcing redirects."""
+        pb = ProgramBuilder(entry="init")
+        b = pb.block("init")
+        b.write(1, b.movi(0))
+        b.write(2, b.movi(0))
+        b.branch("head")
+        b = pb.block("head")
+        i = b.read(1)
+        odd = b.and_(i, imm=1)
+        b.branch_if(b.teq(odd, imm=0), "even", "odd")
+        for name, bump in (("even", 100), ("odd", 1)):
+            b = pb.block(name)
+            acc = b.read(2)
+            i = b.read(1)
+            b.write(2, b.add(acc, imm=bump))
+            i2 = b.add(i, imm=1)
+            b.write(1, i2)
+            b.branch_if(b.tlt(i2, imm=10), "head", "@halt")
+        return pb.build()
+
+    def test_mispredicts_recovered(self):
+        prog = self._branchy_program()
+        result, arch = run_timing(prog)
+        assert arch.get_reg(2) == 5 * 100 + 5 * 1
+        assert result.stats.branch_redirects > 0
+        assert result.stats.squashed_frames > 0
+
+    def test_both_recovery_modes_agree_architecturally(self):
+        prog = self._branchy_program()
+        _, arch_flush = run_timing(prog, recovery="flush")
+        _, arch_dsre = run_timing(prog, recovery="dsre")
+        assert arch_flush.get_reg(2) == arch_dsre.get_reg(2)
+
+    def test_perfect_predictor_no_redirects(self):
+        prog = self._branchy_program()
+        result, _ = run_timing(prog, next_block_predictor="perfect")
+        assert result.stats.branch_redirects == 0
+        assert result.stats.squashed_frames == 0
+
+
+class TestDataSpeculationRecovery:
+    def _conflict_program(self, n=10):
+        """Serial memory accumulator with slow store data: every younger
+        load mis-speculates under aggressive issue."""
+        pb = ProgramBuilder(entry="init")
+        b = pb.block("init")
+        b.write(1, b.movi(0))
+        b.branch("loop")
+        b = pb.block("loop")
+        i = b.read(1)
+        cell = b.const(0x800)
+        v = b.load(cell)
+        slow = b.mul(b.mul(b.mul(v, imm=1), imm=1), imm=1)
+        b.store(cell, b.add(slow, imm=1))
+        i2 = b.add(i, imm=1)
+        b.write(1, i2)
+        b.branch_if(b.tlt(i2, imm=n), "loop", "@halt")
+        return pb.build()
+
+    def test_flush_recovery_correct(self):
+        result, arch = run_timing(self._conflict_program(),
+                                  dependence_policy="aggressive",
+                                  recovery="flush")
+        assert arch.memory.read_word(0x800) == 10
+        assert result.stats.violation_flushes > 0
+        assert result.stats.squashed_executions > 0
+
+    def test_dsre_recovery_correct(self):
+        result, arch = run_timing(self._conflict_program(),
+                                  dependence_policy="aggressive",
+                                  recovery="dsre")
+        assert arch.memory.read_word(0x800) == 10
+        assert result.stats.violation_flushes == 0
+        assert result.stats.load_redeliveries > 0
+        assert result.stats.reexecutions > 0
+
+    def test_dsre_faster_than_flush_on_conflicts(self):
+        prog = self._conflict_program(20)
+        flush, _ = run_timing(prog, recovery="flush")
+        dsre, _ = run_timing(prog, recovery="dsre")
+        assert dsre.stats.cycles < flush.stats.cycles
+
+    def test_conservative_never_misspeculates(self):
+        result, _ = run_timing(self._conflict_program(),
+                               dependence_policy="conservative",
+                               recovery="flush")
+        assert result.stats.violation_flushes == 0
+        assert result.stats.dependence_mispeculations == 0
+
+    def test_oracle_never_misspeculates(self):
+        result, _ = run_timing(self._conflict_program(),
+                               dependence_policy="oracle", recovery="flush")
+        assert result.stats.violation_flushes == 0
+
+    def test_storeset_learns(self):
+        result, _ = run_timing(self._conflict_program(20),
+                               dependence_policy="storeset",
+                               recovery="flush")
+        # At most a couple of violations before the predictor serialises.
+        assert result.stats.violation_flushes <= 3
+
+
+class TestWindowSizes:
+    @pytest.mark.parametrize("frames", [1, 2, 4, 16])
+    def test_any_window_correct(self, counter_program, frames):
+        result, arch = run_timing(counter_program, max_frames=frames)
+        assert arch.get_reg(2) == sum(range(8))
+
+    def test_bigger_window_not_slower(self, counter_program):
+        small, _ = run_timing(counter_program, max_frames=1)
+        large, _ = run_timing(counter_program, max_frames=8)
+        assert large.stats.cycles <= small.stats.cycles
+
+
+class TestGuards:
+    def test_watchdog_reports_deadlock(self):
+        # A block that waits forever cannot be built through the validated
+        # builder, so exercise the watchdog via an absurdly low limit.
+        prog = build_single_block(lambda b: b.write(1, b.movi(1)))
+        config = default_config(watchdog_cycles=1_000_000)
+        config = config.derive(max_cycles=3)
+        with pytest.raises(SimulationError, match="max_cycles"):
+            Processor(prog, config).run()
+
+    def test_without_golden_check(self, counter_program):
+        result, arch = run_timing(counter_program, check_with_golden=False)
+        assert arch.get_reg(2) == sum(range(8))

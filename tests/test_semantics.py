@@ -1,0 +1,154 @@
+"""Unit tests for the shared ALU semantics (golden & timing use the same)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import Opcode
+from repro.isa.semantics import effective_address, evaluate_alu
+from repro.isa.values import WORD_MASK, to_signed, to_unsigned, wrap
+
+u64 = st.integers(min_value=0, max_value=WORD_MASK)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert evaluate_alu(Opcode.ADD, 2, 3) == 5
+
+    def test_add_wraps(self):
+        assert evaluate_alu(Opcode.ADD, WORD_MASK, 1) == 0
+
+    def test_sub(self):
+        assert evaluate_alu(Opcode.SUB, 3, 5) == wrap(-2)
+
+    def test_mul(self):
+        assert evaluate_alu(Opcode.MUL, 7, 6) == 42
+
+    def test_mul_wraps(self):
+        assert evaluate_alu(Opcode.MUL, 1 << 32, 1 << 32) == 0
+
+    @given(u64, u64)
+    def test_add_matches_python(self, a, b):
+        assert evaluate_alu(Opcode.ADD, a, b) == (a + b) & WORD_MASK
+
+    @given(u64, u64)
+    def test_mul_matches_python(self, a, b):
+        assert evaluate_alu(Opcode.MUL, a, b) == (a * b) & WORD_MASK
+
+
+class TestDivision:
+    def test_div(self):
+        assert evaluate_alu(Opcode.DIV, 17, 5) == 3
+
+    def test_div_truncates_toward_zero(self):
+        assert to_signed(evaluate_alu(Opcode.DIV,
+                                      to_unsigned(-17), 5)) == -3
+        assert to_signed(evaluate_alu(Opcode.DIV,
+                                      17, to_unsigned(-5))) == -3
+
+    def test_div_by_zero_is_zero(self):
+        assert evaluate_alu(Opcode.DIV, 17, 0) == 0
+
+    def test_mod(self):
+        assert evaluate_alu(Opcode.MOD, 17, 5) == 2
+
+    def test_mod_sign_of_dividend(self):
+        assert to_signed(evaluate_alu(Opcode.MOD,
+                                      to_unsigned(-17), 5)) == -2
+
+    def test_mod_by_zero_is_zero(self):
+        assert evaluate_alu(Opcode.MOD, 17, 0) == 0
+
+    @given(st.integers(min_value=-(1 << 62), max_value=1 << 62),
+           st.integers(min_value=-(1 << 30), max_value=1 << 30))
+    def test_div_mod_identity(self, a, b):
+        ua, ub = to_unsigned(a), to_unsigned(b)
+        q = to_signed(evaluate_alu(Opcode.DIV, ua, ub))
+        r = to_signed(evaluate_alu(Opcode.MOD, ua, ub))
+        if b != 0:
+            assert q * b + r == a
+
+
+class TestLogicAndShifts:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        (Opcode.AND, 0b1100, 0b1010, 0b1000),
+        (Opcode.OR, 0b1100, 0b1010, 0b1110),
+        (Opcode.XOR, 0b1100, 0b1010, 0b0110),
+        (Opcode.SHL, 1, 4, 16),
+        (Opcode.SHR, 16, 4, 1),
+    ])
+    def test_basic(self, op, a, b, expected):
+        assert evaluate_alu(op, a, b) == expected
+
+    def test_shift_amount_mod_64(self):
+        assert evaluate_alu(Opcode.SHL, 1, 64) == 1
+        assert evaluate_alu(Opcode.SHL, 1, 65) == 2
+
+    def test_shr_is_logical(self):
+        assert evaluate_alu(Opcode.SHR, WORD_MASK, 60) == 0xF
+
+    def test_sra_is_arithmetic(self):
+        assert evaluate_alu(Opcode.SRA, WORD_MASK, 4) == WORD_MASK
+        assert evaluate_alu(Opcode.SRA, 1 << 62, 62) == 1
+
+
+class TestCompares:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        (Opcode.TEQ, 5, 5, 1), (Opcode.TEQ, 5, 6, 0),
+        (Opcode.TNE, 5, 6, 1), (Opcode.TNE, 5, 5, 0),
+        (Opcode.TLT, 4, 5, 1), (Opcode.TLT, 5, 5, 0),
+        (Opcode.TLE, 5, 5, 1), (Opcode.TGT, 6, 5, 1),
+        (Opcode.TGE, 5, 5, 1),
+    ])
+    def test_basic(self, op, a, b, expected):
+        assert evaluate_alu(op, a, b) == expected
+
+    def test_signed_compare(self):
+        minus_one = to_unsigned(-1)
+        assert evaluate_alu(Opcode.TLT, minus_one, 0) == 1
+        assert evaluate_alu(Opcode.TGT, 0, minus_one) == 1
+
+    def test_unsigned_compare(self):
+        minus_one = to_unsigned(-1)       # largest unsigned value
+        assert evaluate_alu(Opcode.TLTU, minus_one, 0) == 0
+        assert evaluate_alu(Opcode.TGEU, minus_one, 0) == 1
+
+    @given(u64, u64)
+    def test_trichotomy(self, a, b):
+        lt = evaluate_alu(Opcode.TLT, a, b)
+        gt = evaluate_alu(Opcode.TGT, a, b)
+        eq = evaluate_alu(Opcode.TEQ, a, b)
+        assert lt + gt + eq == 1
+
+
+class TestUnary:
+    def test_not(self):
+        assert evaluate_alu(Opcode.NOT, 0) == WORD_MASK
+
+    def test_neg(self):
+        assert evaluate_alu(Opcode.NEG, 5) == to_unsigned(-5)
+        assert evaluate_alu(Opcode.NEG, 0) == 0
+
+    def test_mov(self):
+        assert evaluate_alu(Opcode.MOV, 12345) == 12345
+
+    def test_sign_extensions(self):
+        assert evaluate_alu(Opcode.SXT1, 0x80) == to_unsigned(-128)
+        assert evaluate_alu(Opcode.SXT2, 0x8000) == to_unsigned(-0x8000)
+        assert evaluate_alu(Opcode.SXT4, 0x80000000) == \
+            to_unsigned(-0x80000000)
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(KeyError):
+            evaluate_alu(Opcode.LOAD, 1, 2)
+
+
+class TestEffectiveAddress:
+    def test_positive_displacement(self):
+        assert effective_address(0x1000, 8) == 0x1008
+
+    def test_negative_displacement(self):
+        assert effective_address(0x1000, -8) == 0xFF8
+
+    def test_wraps(self):
+        assert effective_address(WORD_MASK, 1) == 0

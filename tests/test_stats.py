@@ -1,0 +1,83 @@
+"""Tests for statistics containers and report rendering."""
+
+import pytest
+
+from repro.stats.counters import SimStats
+from repro.stats.report import Table, geomean, ratio
+
+
+class TestSimStats:
+    def test_ipc(self):
+        stats = SimStats(cycles=100, committed_instructions=250)
+        assert stats.ipc == 2.5
+
+    def test_ipc_no_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_reexecution_ratio(self):
+        stats = SimStats(committed_instructions=100, reexecutions=30)
+        assert stats.reexecution_ratio == 0.3
+
+    def test_wasted_execution_ratio(self):
+        stats = SimStats(committed_instructions=100,
+                         squashed_executions=50)
+        assert stats.wasted_execution_ratio == 0.5
+
+    def test_average_occupancy(self):
+        stats = SimStats(occupancy_samples=4, occupancy_total=20)
+        assert stats.average_occupancy == 5.0
+
+    def test_as_dict_includes_derived(self):
+        d = SimStats(cycles=10, committed_instructions=20).as_dict()
+        assert d["ipc"] == 2.0
+        assert d["cycles"] == 10
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("Demo", ["name", "value"])
+        table.add_row("alpha", 1)
+        table.add_row("b", 22.5)
+        text = table.render()
+        assert "Demo" in text
+        assert "alpha" in text
+        assert "22.500" in text
+
+    def test_row_width_mismatch(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_csv(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2)
+        assert table.to_csv() == "a,b\n1,2"
+
+    def test_column(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == ["2", "4"]
+
+    def test_data_attachment(self):
+        table = Table("t", ["a"])
+        table.data["x"] = 1
+        assert table.data == {"x": 1}
+
+
+class TestMath:
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert geomean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_geomean_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_geomean_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1, 0])
+
+    def test_ratio(self):
+        assert ratio(6, 3) == 2.0
+        assert ratio(1, 0) == float("inf")

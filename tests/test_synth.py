@@ -1,0 +1,77 @@
+"""Tests for the synthetic conflict-rate workload generator."""
+
+import pytest
+
+from repro.arch import run_program
+from repro.harness.runner import run_point
+from repro.workloads import SynthParams, build_synthetic
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        SynthParams().validate()
+
+    @pytest.mark.parametrize("kw", [
+        {"conflict_rate": -0.1}, {"conflict_rate": 1.1},
+        {"distance": 0}, {"n_blocks": 2, "distance": 4},
+    ])
+    def test_invalid(self, kw):
+        with pytest.raises(ValueError):
+            SynthParams(**kw).validate()
+
+
+class TestGeneration:
+    def test_self_checks(self):
+        inst = build_synthetic(SynthParams(n_blocks=40, conflict_rate=0.3))
+        _, state = run_program(inst.program, inst.initial_regs)
+        assert inst.check(state) == []
+
+    def test_zero_rate_has_no_dependences(self):
+        inst = build_synthetic(SynthParams(n_blocks=40, conflict_rate=0.0))
+        trace, _ = run_program(inst.program)
+        assert trace.dependence_distance_histogram() == {}
+
+    def test_full_rate_all_loads_depend(self):
+        inst = build_synthetic(SynthParams(n_blocks=40, conflict_rate=1.0,
+                                           distance=2))
+        trace, _ = run_program(inst.program)
+        hist = trace.dependence_distance_histogram()
+        assert set(hist) == {2}
+        assert hist[2] == 40 - 2       # all but the first `distance` blocks
+
+    def test_rate_scales_monotonically(self):
+        counts = []
+        for rate in (0.1, 0.5, 0.9):
+            inst = build_synthetic(SynthParams(n_blocks=60,
+                                               conflict_rate=rate))
+            trace, _ = run_program(inst.program)
+            counts.append(sum(
+                trace.dependence_distance_histogram().values()))
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_deterministic(self):
+        a = build_synthetic(SynthParams(n_blocks=30, conflict_rate=0.4))
+        b = build_synthetic(SynthParams(n_blocks=30, conflict_rate=0.4))
+        assert str(a.program) == str(b.program)
+        assert a.expected_regs == b.expected_regs
+
+    def test_distance_respected(self):
+        inst = build_synthetic(SynthParams(n_blocks=40, conflict_rate=1.0,
+                                           distance=4))
+        trace, _ = run_program(inst.program)
+        assert set(trace.dependence_distance_histogram()) == {4}
+
+
+class TestTiming:
+    @pytest.mark.parametrize("point", ["dsre", "storeset", "aggressive"])
+    def test_runs_correctly(self, point):
+        inst = build_synthetic(SynthParams(n_blocks=30, conflict_rate=0.3))
+        result = run_point(inst, point)
+        assert result.stats.committed_blocks == 31    # init + 30 iterations
+
+    def test_conflicts_cause_recovery_events(self):
+        inst = build_synthetic(SynthParams(n_blocks=60, conflict_rate=0.5))
+        dsre = run_point(inst, "dsre")
+        flush = run_point(inst, "aggressive")
+        assert dsre.stats.load_redeliveries > 0
+        assert flush.stats.violation_flushes > 0

@@ -1,0 +1,95 @@
+"""Unit tests for execution tiles (issue ordering, occupancy)."""
+
+from repro.core.node import InstructionNode
+from repro.core.tokens import Token, inst_dest
+from repro.isa.instruction import Instruction, Slot
+from repro.isa.opcodes import Opcode
+from repro.uarch.tile import ExecTile
+
+
+def movi_node(frame_uid, index, imm=1):
+    return InstructionNode(frame_uid, index,
+                           Instruction(Opcode.MOVI, imm=imm), {})
+
+
+def make_tile(width=1):
+    return ExecTile(0, (0, 0), issue_width=width)
+
+
+class TestIssue:
+    def test_issues_ready_node(self):
+        tile = make_tile()
+        node = movi_node(0, 0)
+        tile.enqueue(0, node)
+        issued = tile.issue_ready(10, lambda n: 1, lambda uid: True)
+        assert issued == [node]
+        assert tile.pop_completed(11) == [node]
+
+    def test_issue_width_respected(self):
+        tile = make_tile(width=2)
+        nodes = [movi_node(0, i) for i in range(4)]
+        for n in nodes:
+            tile.enqueue(0, n)
+        assert len(tile.issue_ready(0, lambda n: 1, lambda u: True)) == 2
+        assert len(tile.issue_ready(1, lambda n: 1, lambda u: True)) == 2
+
+    def test_oldest_frame_first(self):
+        tile = make_tile()
+        young = movi_node(2, 0)
+        old = movi_node(1, 0)
+        tile.enqueue(5, young)
+        tile.enqueue(3, old)
+        issued = tile.issue_ready(0, lambda n: 1, lambda u: True)
+        assert issued == [old]
+
+    def test_dead_frames_skipped(self):
+        tile = make_tile()
+        node = movi_node(7, 0)
+        tile.enqueue(0, node)
+        issued = tile.issue_ready(0, lambda n: 1, lambda uid: uid != 7)
+        assert issued == []
+
+    def test_duplicate_enqueue_coalesced(self):
+        tile = make_tile(width=4)
+        node = movi_node(0, 0)
+        tile.enqueue(0, node)
+        tile.enqueue(0, node)
+        issued = tile.issue_ready(0, lambda n: 1, lambda u: True)
+        assert issued == [node]
+
+    def test_unready_node_skipped(self):
+        tile = make_tile()
+        add = InstructionNode(0, 0, Instruction(Opcode.ADD),
+                              {Slot.OP0: [("inst", 1)],
+                               Slot.OP1: [("inst", 2)]})
+        tile.enqueue(0, add)
+        assert tile.issue_ready(0, lambda n: 1, lambda u: True) == []
+
+
+class TestCompletion:
+    def test_latency_respected(self):
+        tile = make_tile()
+        node = movi_node(0, 0)
+        tile.enqueue(0, node)
+        tile.issue_ready(10, lambda n: 5, lambda u: True)
+        assert tile.pop_completed(14) == []
+        assert tile.pop_completed(15) == [node]
+
+    def test_next_completion(self):
+        tile = make_tile()
+        assert tile.next_completion() is None
+        node = movi_node(0, 0)
+        tile.enqueue(0, node)
+        tile.issue_ready(0, lambda n: 3, lambda u: True)
+        assert tile.next_completion() == 3
+
+    def test_busy_flag(self):
+        tile = make_tile()
+        assert not tile.busy
+        node = movi_node(0, 0)
+        tile.enqueue(0, node)
+        assert tile.busy
+        tile.issue_ready(0, lambda n: 1, lambda u: True)
+        assert tile.busy
+        tile.pop_completed(1)
+        assert not tile.busy

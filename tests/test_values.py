@@ -1,0 +1,100 @@
+"""Unit tests for 64-bit value helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.values import (WORD_MASK, bool_value, is_true, sign_extend,
+                              to_signed, to_unsigned, truncate, wrap)
+
+u64 = st.integers(min_value=0, max_value=WORD_MASK)
+any_int = st.integers(min_value=-(1 << 80), max_value=1 << 80)
+
+
+class TestWrap:
+    def test_identity_in_range(self):
+        assert wrap(42) == 42
+
+    def test_wraps_overflow(self):
+        assert wrap(1 << 64) == 0
+        assert wrap((1 << 64) + 5) == 5
+
+    def test_wraps_negative(self):
+        assert wrap(-1) == WORD_MASK
+
+    @given(any_int)
+    def test_always_in_range(self, x):
+        assert 0 <= wrap(x) <= WORD_MASK
+
+
+class TestSigned:
+    def test_positive(self):
+        assert to_signed(5) == 5
+
+    def test_negative(self):
+        assert to_signed(WORD_MASK) == -1
+        assert to_signed(1 << 63) == -(1 << 63)
+
+    def test_boundary(self):
+        assert to_signed((1 << 63) - 1) == (1 << 63) - 1
+
+    @given(u64)
+    def test_roundtrip(self, x):
+        assert to_unsigned(to_signed(x)) == x
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_roundtrip_signed(self, x):
+        assert to_signed(to_unsigned(x)) == x
+
+
+class TestTruncate:
+    def test_full_width(self):
+        assert truncate(WORD_MASK, 8) == WORD_MASK
+
+    @pytest.mark.parametrize("width,expected", [
+        (1, 0xEF), (2, 0xCDEF), (4, 0x89ABCDEF),
+        (8, 0x0123456789ABCDEF),
+    ])
+    def test_widths(self, width, expected):
+        assert truncate(0x0123456789ABCDEF, width) == expected
+
+    @given(u64, st.sampled_from([1, 2, 4, 8]))
+    def test_fits(self, x, w):
+        assert truncate(x, w) < (1 << (8 * w))
+
+
+class TestSignExtend:
+    def test_byte_negative(self):
+        assert sign_extend(0xFF, 1) == WORD_MASK
+
+    def test_byte_positive(self):
+        assert sign_extend(0x7F, 1) == 0x7F
+
+    def test_half(self):
+        assert sign_extend(0x8000, 2) == wrap(-0x8000)
+
+    def test_word(self):
+        assert sign_extend(0xFFFFFFFF, 4) == WORD_MASK
+
+    def test_ignores_upper_bits(self):
+        assert sign_extend(0xAB00 | 0x7F, 1) == 0x7F
+
+    @given(u64, st.sampled_from([1, 2, 4]))
+    def test_idempotent(self, x, w):
+        once = sign_extend(x, w)
+        assert sign_extend(once, w) == once
+
+
+class TestPredicates:
+    def test_bool_value(self):
+        assert bool_value(True) == 1
+        assert bool_value(False) == 0
+
+    def test_is_true(self):
+        assert is_true(1)
+        assert is_true(WORD_MASK)
+        assert not is_true(0)
+
+    @given(u64)
+    def test_any_nonzero_true(self, x):
+        assert is_true(x) == (x != 0)
