@@ -1,0 +1,65 @@
+"""Batch-layer throughput: cold simulation vs warm content-addressed cache.
+
+The acceptance bar for the harness is that a warm-cache rerun of the full
+sweep costs a small fraction of the cold run: a cache hit is one JSON read
+plus key hashing, never a timing simulation.  This benchmark measures the
+warm path on a representative mini-sweep and asserts it actually beats
+re-simulating.
+"""
+
+import time
+
+from repro.harness import POINT_ORDER, ParallelRunner, ResultCache, SweepPlan
+from repro.workloads import KERNELS
+
+MINI_SWEEP = ("vecsum", "queue", "histogram", "stencil")
+
+
+def build_plan():
+    plan = SweepPlan()
+    for name in MINI_SWEEP:
+        inst = KERNELS[name].build_test()
+        for point in POINT_ORDER:
+            plan.add(inst, point)
+    return plan
+
+
+def test_warm_cache_rerun(benchmark, tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+
+    start = time.perf_counter()
+    cold = ParallelRunner(jobs=1, cache=cache).run_plan(build_plan())
+    cold_seconds = time.perf_counter() - start
+    assert all(not r.from_cache for r in cold)
+
+    def warm_run():
+        runner = ParallelRunner(jobs=1, cache=cache)
+        return runner.run_plan(build_plan())
+
+    warm = benchmark.pedantic(warm_run, rounds=3, iterations=1)
+    assert all(r.from_cache for r in warm)
+    assert [r.stats.cycles for r in warm] == [r.stats.cycles for r in cold]
+
+    warm_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 4)
+    benchmark.extra_info["speedup"] = round(cold_seconds / warm_seconds, 1)
+    # The whole point of the cache: a warm rerun must be much cheaper
+    # than re-simulating (the CLI-scale bar is < 25% of cold wall time).
+    assert warm_seconds < cold_seconds
+
+
+def test_cold_parallel_dispatch(benchmark, tmp_path):
+    """Cold-path overhead of the runner itself (plan + keying + store)."""
+    def cold_run(root):
+        cache = ResultCache(root)
+        return ParallelRunner(jobs=1, cache=cache).run_plan(build_plan())
+
+    counter = [0]
+
+    def fresh_root():
+        counter[0] += 1
+        return (str(tmp_path / f"c{counter[0]}"),), {}
+
+    results = benchmark.pedantic(cold_run, setup=fresh_root,
+                                 rounds=2, iterations=1)
+    assert len(results) == len(MINI_SWEEP) * len(POINT_ORDER)

@@ -1,16 +1,23 @@
-"""Experiment harness: standard machine points, runners, and the
+"""Experiment harness: standard machine points, runners, the batch
+execution layer (sweep plans, parallel runner, result cache), and the
 table/figure regeneration functions T1, T2, E1..E8."""
 
+from .cache import ResultCache, cache_key
 from .experiments import (EXPERIMENTS, e1_main, e2_window, e3_recovery_cost,
                           e4_policies, e5_network, e6_commit_wave,
                           e7_conflict_sweep, e8_storeset_ablation, table_t1,
                           table_t2)
+from .parallel import (CellResult, ParallelRunner, arch_state_digest,
+                       execute_cell)
 from .runner import (POINT_ORDER, STANDARD_POINTS, golden_of, run_point,
                      run_points)
+from .sweep import SweepCell, SweepPlan
 
 __all__ = [
-    "EXPERIMENTS", "POINT_ORDER", "STANDARD_POINTS", "e1_main", "e2_window",
+    "EXPERIMENTS", "POINT_ORDER", "STANDARD_POINTS", "CellResult",
+    "ParallelRunner", "ResultCache", "SweepCell", "SweepPlan",
+    "arch_state_digest", "cache_key", "e1_main", "e2_window",
     "e3_recovery_cost", "e4_policies", "e5_network", "e6_commit_wave",
-    "e7_conflict_sweep", "e8_storeset_ablation", "golden_of", "run_point",
-    "run_points", "table_t1", "table_t2",
+    "e7_conflict_sweep", "e8_storeset_ablation", "execute_cell",
+    "golden_of", "run_point", "run_points", "table_t1", "table_t2",
 ]

@@ -1,0 +1,193 @@
+"""Content-addressed on-disk cache for timing-simulation results.
+
+Each cache entry is one JSON record describing one sweep cell.  The key is
+the SHA-256 of
+
+* the program's canonical binary encoding plus initial registers
+  (:meth:`KernelInstance.identity_digest`),
+* the fully-derived :class:`MachineConfig` in canonical JSON form (which
+  includes the dependence-policy/recovery pair), and
+* the record schema version,
+
+so any change to the program, the machine, or the record format misses
+cleanly.  Records live under ``.repro-cache/<key[:2]>/<key>.json`` and are
+written atomically (temp file + rename).  A record that fails validation —
+truncated JSON, wrong schema, key mismatch, missing sections — is deleted
+and reported as *corrupt*; the caller simply re-simulates.
+
+The cache stores only architectural digests and counters, never the full
+final state: admission is gated by the differential check in
+:mod:`repro.harness.parallel`, so a cached record is by construction a
+result whose timing simulation matched the golden model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+from ..uarch.config import MachineConfig
+
+#: Bump when the record layout changes; old records then miss (and are
+#: reaped by ``clear``), never misparsed.
+SCHEMA_VERSION = 1
+
+#: Sections a record must carry to be admitted on load.
+_REQUIRED_KEYS = ("schema", "key", "kernel", "point", "config", "result",
+                  "arch_digest")
+_REQUIRED_RESULT_KEYS = ("stats", "network", "lsq", "l1", "predictor")
+
+
+@dataclass
+class CacheSession:
+    """Hit/miss accounting for one runner session."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    stored: int = 0
+
+
+def cache_key(identity_digest: str, config: MachineConfig) -> str:
+    """The content address of one (program, machine) cell."""
+    h = hashlib.sha256()
+    h.update(f"repro-result-cache/v{SCHEMA_VERSION}\n".encode())
+    h.update(identity_digest.encode())
+    h.update(b"\n")
+    h.update(config.canonical_json().encode())
+    return h.hexdigest()
+
+
+class ResultCache:
+    """A directory of content-addressed result records."""
+
+    def __init__(self, root: str = ".repro-cache"):
+        self.root = root
+        self.session = CacheSession()
+
+    # ------------------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def load(self, key: str) -> Optional[dict]:
+        """The validated record for ``key``, or None (miss / corrupt)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+            self._validate(key, record)
+        except FileNotFoundError:
+            self.session.misses += 1
+            return None
+        except (json.JSONDecodeError, ValueError, TypeError, KeyError,
+                UnicodeDecodeError, ConfigError):
+            # A corrupt entry must never poison a run: drop it and rerun.
+            self.session.corrupt += 1
+            self.session.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.session.hits += 1
+        return record
+
+    def store(self, key: str, record: dict) -> None:
+        """Atomically write ``record`` under ``key``."""
+        record = dict(record, schema=SCHEMA_VERSION, key=key)
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + f".tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, sort_keys=True)
+        os.replace(tmp, path)
+        self.session.stored += 1
+
+    @staticmethod
+    def _validate(key: str, record: object) -> None:
+        if not isinstance(record, dict):
+            raise ValueError("record is not an object")
+        for name in _REQUIRED_KEYS:
+            if name not in record:
+                raise ValueError(f"record missing {name!r}")
+        if record["schema"] != SCHEMA_VERSION:
+            raise ValueError(f"schema {record['schema']} != {SCHEMA_VERSION}")
+        if record["key"] != key:
+            raise ValueError("record key does not match its address")
+        result = record["result"]
+        if not isinstance(result, dict):
+            raise ValueError("result section is not an object")
+        for name in _REQUIRED_RESULT_KEYS:
+            if not isinstance(result.get(name), dict):
+                raise ValueError(f"result section missing {name!r}")
+        # Config must still parse and validate under the current code.
+        MachineConfig.from_dict(record["config"])
+
+    # ------------------------------------------------------------------
+
+    def entries(self) -> List[str]:
+        """All record paths currently on disk."""
+        found = []
+        if not os.path.isdir(self.root):
+            return found
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    found.append(os.path.join(shard_dir, name))
+        return found
+
+    def stats(self) -> Dict[str, object]:
+        """On-disk totals (for ``cli cache stats``)."""
+        paths = self.entries()
+        per_kernel: Dict[str, int] = {}
+        stale = 0
+        total_bytes = 0
+        for path in paths:
+            total_bytes += os.path.getsize(path)
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    record = json.load(fh)
+                if record.get("schema") != SCHEMA_VERSION:
+                    stale += 1
+                    continue
+                kernel = record.get("kernel", "?")
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+                stale += 1
+                continue
+            per_kernel[kernel] = per_kernel.get(kernel, 0) + 1
+        return {
+            "root": self.root,
+            "entries": len(paths),
+            "bytes": total_bytes,
+            "schema": SCHEMA_VERSION,
+            "stale_or_corrupt": stale,
+            "per_kernel": dict(sorted(per_kernel.items())),
+        }
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        # Prune now-empty shard directories (best effort).
+        if os.path.isdir(self.root):
+            for shard in os.listdir(self.root):
+                shard_dir = os.path.join(self.root, shard)
+                if os.path.isdir(shard_dir) and not os.listdir(shard_dir):
+                    try:
+                        os.rmdir(shard_dir)
+                    except OSError:
+                        pass
+        return removed

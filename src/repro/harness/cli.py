@@ -3,39 +3,94 @@
 Usage::
 
     python -m repro.harness.cli t1 e1 --full
-    python -m repro.harness.cli all            # every table, fast scales
+    python -m repro.harness.cli all --full --jobs 8   # parallel, cached
+    python -m repro.harness.cli e1 --jobs 2 --kernels vecsum,queue
+    python -m repro.harness.cli all --no-cache        # force re-simulation
+    python -m repro.harness.cli cache stats
+    python -m repro.harness.cli cache clear
     python -m repro.harness.cli list
 
 ``--full`` uses the default evaluation scales (minutes); without it the
-fast test scales run in seconds.
+fast test scales run in seconds.  Timing results are cached under
+``.repro-cache/`` (content-addressed by program + machine configuration),
+so re-runs only pay for cells whose inputs changed; ``--jobs N`` fans
+un-cached cells out over N worker processes (``--jobs 1`` is the
+deterministic in-process fallback).  Tables are byte-identical for any
+combination of ``--jobs`` and cache state.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import os
 import sys
 import time
-from typing import List
+from typing import List, Optional
 
+from .cache import ResultCache
 from .experiments import EXPERIMENTS, table_t1
+from .parallel import ParallelRunner
 
 
-def _run_one(name: str, fast: bool) -> str:
+def _run_one(name: str, fast: bool, runner: ParallelRunner,
+             kernels: Optional[List[str]]) -> str:
     func = EXPERIMENTS[name]
     if func is table_t1:
         return table_t1().render()
-    return func(fast=fast).render()
+    kwargs = {"fast": fast, "runner": runner}
+    if kernels and "kernels" in inspect.signature(func).parameters:
+        kwargs["kernels"] = kernels
+    return func(**kwargs).render()
+
+
+def _cache_command(args: List[str], root: str) -> int:
+    cache = ResultCache(root)
+    if args == ["stats"]:
+        stats = cache.stats()
+        print(f"cache root      {stats['root']}")
+        print(f"entries         {stats['entries']}")
+        print(f"size            {stats['bytes'] / 1024.0:.1f} KiB")
+        print(f"schema version  {stats['schema']}")
+        if stats["stale_or_corrupt"]:
+            print(f"stale/corrupt   {stats['stale_or_corrupt']}")
+        for kernel, count in stats["per_kernel"].items():
+            print(f"  {kernel:12s} {count}")
+        return 0
+    if args == ["clear"]:
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    print("usage: cli cache {stats,clear}", file=sys.stderr)
+    return 2
 
 
 def main(argv: List[str] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+
     parser = argparse.ArgumentParser(
         prog="repro-harness",
         description="Regenerate evaluation tables for the DSRE reproduction")
     parser.add_argument("experiments", nargs="+",
-                        help="experiment ids (t1 t2 e1..e8), or 'all'/'list'")
+                        help="experiment ids (t1 t2 e1..e8), 'all'/'list', "
+                             "or 'cache stats'/'cache clear'")
     parser.add_argument("--full", action="store_true",
                         help="use full evaluation scales (slow)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for timing simulations "
+                             "(default: all CPUs; 1 = in-process)")
+    parser.add_argument("--kernels", default=None, metavar="A,B,..",
+                        help="restrict kernel-selectable experiments to "
+                             "this comma-separated subset")
+    parser.add_argument("--cache-dir", default=".repro-cache",
+                        help="result cache directory "
+                             "(default: %(default)s)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the result cache")
     args = parser.parse_args(argv)
+
+    if args.experiments[0] == "cache":
+        return _cache_command(args.experiments[1:], args.cache_dir)
 
     wanted = args.experiments
     if wanted == ["list"]:
@@ -51,9 +106,18 @@ def main(argv: List[str] = None) -> int:
             print(f"unknown experiment {name!r}; try 'list'",
                   file=sys.stderr)
             return 2
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = ParallelRunner(jobs=args.jobs or os.cpu_count() or 1,
+                            cache=cache)
+    kernels = args.kernels.split(",") if args.kernels else None
+
+    for name in wanted:
         start = time.time()
-        print(_run_one(name, fast=not args.full))
+        print(_run_one(name, fast=not args.full, runner=runner,
+                       kernels=kernels))
         print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+    print(f"[sweep: {runner.summary()}]")
     return 0
 
 

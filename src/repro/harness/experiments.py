@@ -6,6 +6,14 @@ Each function rebuilds one table/figure of the reconstructed evaluation
 numbers.  ``fast=True`` uses the kernels' small test scales (seconds);
 ``fast=False`` uses the default evaluation scales (minutes) and is what
 EXPERIMENTS.md records.
+
+Every timing experiment enumerates its whole (kernel, machine point,
+config) grid into a :class:`~repro.harness.sweep.SweepPlan` and executes
+it through a :class:`~repro.harness.parallel.ParallelRunner` — pass
+``runner=ParallelRunner(jobs=N, cache=ResultCache())`` to fan the grid out
+over worker processes and reuse previous results; the default is the
+deterministic in-process runner with no cache, which produces tables
+byte-identical to any parallel/cached run.
 """
 
 from __future__ import annotations
@@ -17,7 +25,9 @@ from ..uarch.config import default_config
 from ..workloads.common import KernelInstance
 from ..workloads.registry import KERNELS
 from ..workloads.synth import SynthParams, build_synthetic
-from .runner import POINT_ORDER, golden_of, run_point, run_points
+from .parallel import ParallelRunner
+from .runner import POINT_ORDER, golden_of
+from .sweep import SweepPlan
 
 #: Kernels with frequent true dependences (used by the recovery studies).
 CONFLICT_KERNELS = ["stencil", "fibmem", "memaccum", "memmove", "bubble",
@@ -35,6 +45,10 @@ def _instances(names: Iterable[str], fast: bool) -> List[KernelInstance]:
     return out
 
 
+def _runner(runner: Optional[ParallelRunner]) -> ParallelRunner:
+    return runner or ParallelRunner(jobs=1)
+
+
 # ----------------------------------------------------------------------
 # T1 / T2: configuration and workload characterisation
 # ----------------------------------------------------------------------
@@ -48,7 +62,8 @@ def table_t1(config=None) -> Table:
     return table
 
 
-def table_t2(fast: bool = True) -> Table:
+def table_t2(fast: bool = True,
+             runner: Optional[ParallelRunner] = None) -> Table:
     """T2 — workload characterisation from the golden model."""
     table = Table(
         "T2. Workload characterisation (functional run)",
@@ -75,20 +90,26 @@ def table_t2(fast: bool = True) -> Table:
 # ----------------------------------------------------------------------
 
 def e1_main(fast: bool = True,
-            kernels: Optional[Sequence[str]] = None) -> Table:
+            kernels: Optional[Sequence[str]] = None,
+            runner: Optional[ParallelRunner] = None) -> Table:
     """E1 — speedup of every machine point over conservative (per kernel +
     geomean); the paper's anchors are DSRE vs. storeset (+17% there) and
     DSRE as a fraction of oracle (82% there)."""
+    runner = _runner(runner)
     names = list(kernels or KERNELS)
+    instances = _instances(names, fast)
+    plan = SweepPlan()
+    grid = [plan.add_points(inst, tuple(POINT_ORDER)) for inst in instances]
+    results = runner.run_plan(plan)
+
     table = Table("E1. Speedup over conservative (higher is better)",
                   ["kernel"] + POINT_ORDER)
     speedups: Dict[str, List[float]] = {p: [] for p in POINT_ORDER}
-    for inst in _instances(names, fast):
-        results = run_points(inst)
-        base = results["conservative"].stats.cycles
+    for inst, indices in zip(instances, grid):
+        base = results[indices["conservative"]].stats.cycles
         row = [inst.name]
         for point in POINT_ORDER:
-            s = base / results[point].stats.cycles
+            s = base / results[indices[point]].stats.cycles
             speedups[point].append(s)
             row.append(s)
         table.add_row(*row)
@@ -109,24 +130,30 @@ def e1_main(fast: bool = True,
 
 def e2_window(fast: bool = True,
               frames: Sequence[int] = (1, 2, 4, 8, 16, 32),
-              kernels: Sequence[str] = tuple(SWEEP_KERNELS)) -> Table:
+              kernels: Sequence[str] = tuple(SWEEP_KERNELS),
+              runner: Optional[ParallelRunner] = None) -> Table:
     """E2 — IPC of flush vs DSRE recovery as the window grows.
 
     The paper's scalability claim: selective re-execution keeps improving
     with window size while flush recovery flattens (each flush throws away
     an ever-larger window)."""
+    runner = _runner(runner)
+    instances = _instances(kernels, fast)
+    plan = SweepPlan()
+    grid = {(inst.name, point, f): plan.add(inst, point, max_frames=f)
+            for inst in instances
+            for point in ("storeset", "dsre")
+            for f in frames}
+    results = runner.run_plan(plan)
+
     table = Table("E2. IPC vs in-flight frames (window scaling)",
                   ["kernel", "mechanism"] + [f"{f}f" for f in frames])
     table.data = {"frames": list(frames), "ipc": {}}
-    for inst in _instances(kernels, fast):
+    for inst in instances:
         for point in ("storeset", "dsre"):
-            row = [inst.name, point]
-            series = []
-            for f in frames:
-                result = run_point(inst, point, max_frames=f)
-                series.append(result.stats.ipc)
-                row.append(result.stats.ipc)
-            table.add_row(*row)
+            series = [results[grid[(inst.name, point, f)]].stats.ipc
+                      for f in frames]
+            table.add_row(inst.name, point, *series)
             table.data["ipc"][(inst.name, point)] = series
     return table
 
@@ -136,19 +163,26 @@ def e2_window(fast: bool = True,
 # ----------------------------------------------------------------------
 
 def e3_recovery_cost(fast: bool = True,
-                     kernels: Sequence[str] = tuple(CONFLICT_KERNELS)
-                     ) -> Table:
+                     kernels: Sequence[str] = tuple(CONFLICT_KERNELS),
+                     runner: Optional[ParallelRunner] = None) -> Table:
     """E3 — what one mis-speculation costs under each mechanism:
     instructions squashed per violation (flush) vs instructions re-executed
     per re-delivery (DSRE)."""
+    runner = _runner(runner)
+    instances = _instances(kernels, fast)
+    plan = SweepPlan()
+    grid = {(inst.name, point): plan.add(inst, point)
+            for inst in instances for point in ("aggressive", "dsre")}
+    results = runner.run_plan(plan)
+
     table = Table(
         "E3. Recovery cost per mis-speculation",
         ["kernel", "violations", "squashed/violation",
          "redeliveries", "reexec/redelivery"])
     table.data = {}
-    for inst in _instances(kernels, fast):
-        flush = run_point(inst, "aggressive").stats
-        dsre = run_point(inst, "dsre").stats
+    for inst in instances:
+        flush = results[grid[(inst.name, "aggressive")]].stats
+        dsre = results[grid[(inst.name, "dsre")]].stats
         spv = (flush.squashed_executions / flush.violation_flushes
                if flush.violation_flushes else 0.0)
         rpr = (dsre.reexecutions / dsre.load_redeliveries
@@ -169,7 +203,8 @@ def e3_recovery_cost(fast: bool = True,
 # ----------------------------------------------------------------------
 
 def e4_policies(fast: bool = True,
-                kernels: Optional[Sequence[str]] = None) -> Table:
+                kernels: Optional[Sequence[str]] = None,
+                runner: Optional[ParallelRunner] = None) -> Table:
     """E4 — IPC of every (policy, recovery) combination, including the
     hybrid store-set + DSRE point the standard five-point study omits."""
     combos = [
@@ -177,26 +212,24 @@ def e4_policies(fast: bool = True,
         ("storeset", "flush"), ("oracle", "flush"),
         ("aggressive", "dsre"), ("storeset", "dsre"),
     ]
+    runner = _runner(runner)
     names = list(kernels or CONFLICT_KERNELS)
+    instances = _instances(names, fast)
+    plan = SweepPlan()
+    grid = {(inst.name, policy, recovery):
+            plan.add(inst, None, dependence_policy=policy, recovery=recovery)
+            for inst in instances for policy, recovery in combos}
+    results = runner.run_plan(plan)
+
     headers = ["kernel"] + [f"{p[:4]}/{r[:2]}" for p, r in combos]
     table = Table("E4. IPC by (policy, recovery)", headers)
     table.data = {"combos": combos, "ipc": {}}
-    for inst in _instances(names, fast):
-        golden = golden_of(inst)
+    for inst in instances:
         row = [inst.name]
-        from ..uarch.processor import Processor
         for policy, recovery in combos:
-            config = default_config(dependence_policy=policy,
-                                    recovery=recovery)
-            proc = Processor(inst.program, config, inst.initial_regs,
-                             golden=golden)
-            result = proc.run()
-            problems = inst.check(proc.arch)
-            if problems:
-                raise AssertionError(f"{inst.name}: {problems}")
-            row.append(result.stats.ipc)
-            table.data["ipc"][(inst.name, policy, recovery)] = \
-                result.stats.ipc
+            ipc = results[grid[(inst.name, policy, recovery)]].stats.ipc
+            row.append(ipc)
+            table.data["ipc"][(inst.name, policy, recovery)] = ipc
         table.add_row(*row)
     return table
 
@@ -207,24 +240,30 @@ def e4_policies(fast: bool = True,
 
 def e5_network(fast: bool = True,
                hop_latencies: Sequence[int] = (1, 2, 4),
-               kernels: Sequence[str] = tuple(SWEEP_KERNELS)) -> Table:
+               kernels: Sequence[str] = tuple(SWEEP_KERNELS),
+               runner: Optional[ParallelRunner] = None) -> Table:
     """E5 — sensitivity to operand-network hop latency.
 
     DSRE's waves (and its commit wave) ride the operand network, so it
     should degrade faster than flush recovery as hops get slower."""
+    runner = _runner(runner)
+    instances = _instances(kernels, fast)
+    plan = SweepPlan()
+    grid = {(inst.name, point, hop): plan.add(inst, point, hop_latency=hop)
+            for inst in instances
+            for point in ("storeset", "dsre")
+            for hop in hop_latencies}
+    results = runner.run_plan(plan)
+
     table = Table("E5. IPC vs network hop latency",
                   ["kernel", "mechanism"] + [f"hop={h}" for h in
                                              hop_latencies])
     table.data = {"hops": list(hop_latencies), "ipc": {}}
-    for inst in _instances(kernels, fast):
+    for inst in instances:
         for point in ("storeset", "dsre"):
-            row = [inst.name, point]
-            series = []
-            for hop in hop_latencies:
-                result = run_point(inst, point, hop_latency=hop)
-                series.append(result.stats.ipc)
-                row.append(result.stats.ipc)
-            table.add_row(*row)
+            series = [results[grid[(inst.name, point, hop)]].stats.ipc
+                      for hop in hop_latencies]
+            table.add_row(inst.name, point, *series)
             table.data["ipc"][(inst.name, point)] = series
     return table
 
@@ -234,18 +273,26 @@ def e5_network(fast: bool = True,
 # ----------------------------------------------------------------------
 
 def e6_commit_wave(fast: bool = True,
-                   kernels: Optional[Sequence[str]] = None) -> Table:
+                   kernels: Optional[Sequence[str]] = None,
+                   runner: Optional[ParallelRunner] = None) -> Table:
     """E6 — what the commit wave costs: operand-network messages and FU
     executions per committed instruction, DSRE vs the store-set baseline."""
+    runner = _runner(runner)
     names = list(kernels or KERNELS)
+    instances = _instances(names, fast)
+    plan = SweepPlan()
+    grid = {(inst.name, point): plan.add(inst, point)
+            for inst in instances for point in ("storeset", "dsre")}
+    results = runner.run_plan(plan)
+
     table = Table(
         "E6. Execution & network overhead per committed instruction",
         ["kernel", "msgs/inst (ss)", "msgs/inst (dsre)",
          "final msgs (dsre %)", "exec/inst (ss)", "exec/inst (dsre)"])
     table.data = {}
-    for inst in _instances(names, fast):
-        ss = run_point(inst, "storeset")
-        ds = run_point(inst, "dsre")
+    for inst in instances:
+        ss = results[grid[(inst.name, "storeset")]]
+        ds = results[grid[(inst.name, "dsre")]]
         ci_ss = max(1, ss.stats.committed_instructions)
         ci_ds = max(1, ds.stats.committed_instructions)
         final_pct = (100.0 * ds.network_stats.final_sent
@@ -274,23 +321,31 @@ def e6_commit_wave(fast: bool = True,
 def e7_conflict_sweep(fast: bool = True,
                       rates: Sequence[float] = (0.0, 0.1, 0.25, 0.5,
                                                 0.75, 1.0),
-                      distance: int = 1) -> Table:
+                      distance: int = 1,
+                      runner: Optional[ParallelRunner] = None) -> Table:
     """E7 — cycles (normalised to oracle) vs true-dependence rate on the
     synthetic chain: where does predictor+flush cross DSRE?"""
+    runner = _runner(runner)
     n_blocks = 80 if fast else 300
+    points = ("aggressive", "storeset", "dsre", "oracle")
+    plan = SweepPlan()
+    grid = {}
+    for rate in rates:
+        inst = build_synthetic(SynthParams(
+            n_blocks=n_blocks, conflict_rate=rate, distance=distance))
+        for point in points:
+            grid[(rate, point)] = plan.add(inst, point)
+    results = runner.run_plan(plan)
+
     table = Table(
         "E7. Normalised cycles vs conflict rate (synthetic, lower=better)",
         ["conflict rate", "aggressive", "storeset", "dsre", "oracle"])
     table.data = {"rates": list(rates), "norm": {}}
     for rate in rates:
-        inst = build_synthetic(SynthParams(
-            n_blocks=n_blocks, conflict_rate=rate, distance=distance))
-        results = run_points(
-            inst, points=["aggressive", "storeset", "dsre", "oracle"])
-        oracle = results["oracle"].stats.cycles
+        oracle = results[grid[(rate, "oracle")]].stats.cycles
         row = [f"{rate:.2f}"]
-        for point in ("aggressive", "storeset", "dsre", "oracle"):
-            norm = results[point].stats.cycles / oracle
+        for point in points:
+            norm = results[grid[(rate, point)]].stats.cycles / oracle
             table.data["norm"].setdefault(point, []).append(norm)
             row.append(norm)
         table.add_row(*row)
@@ -304,23 +359,29 @@ def e7_conflict_sweep(fast: bool = True,
 def e8_storeset_ablation(fast: bool = True,
                          sizes: Sequence[int] = (16, 64, 256, 1024),
                          kernels: Sequence[str] = ("histogram", "bubble",
-                                                   "stencil", "hashins")
-                         ) -> Table:
+                                                   "stencil", "hashins"),
+                         runner: Optional[ParallelRunner] = None) -> Table:
     """E8 — predictor capacity vs recovery mechanism: IPC of storeset+flush
     across SSIT sizes, with DSRE (no predictor) as the reference line."""
+    runner = _runner(runner)
+    instances = _instances(kernels, fast)
+    plan = SweepPlan()
+    grid = {}
+    for inst in instances:
+        for size in sizes:
+            grid[(inst.name, size)] = plan.add(
+                inst, "storeset", storeset_ssit_size=size)
+        grid[(inst.name, "dsre")] = plan.add(inst, "dsre")
+    results = runner.run_plan(plan)
+
     table = Table("E8. IPC vs SSIT size (DSRE shown for reference)",
                   ["kernel"] + [f"ssit={s}" for s in sizes] + ["dsre"])
     table.data = {"sizes": list(sizes), "ipc": {}}
-    for inst in _instances(kernels, fast):
-        row = [inst.name]
-        series = []
-        for size in sizes:
-            result = run_point(inst, "storeset", storeset_ssit_size=size)
-            series.append(result.stats.ipc)
-            row.append(result.stats.ipc)
-        dsre = run_point(inst, "dsre").stats.ipc
-        row.append(dsre)
-        table.add_row(*row)
+    for inst in instances:
+        series = [results[grid[(inst.name, size)]].stats.ipc
+                  for size in sizes]
+        dsre = results[grid[(inst.name, "dsre")]].stats.ipc
+        table.add_row(inst.name, *series, dsre)
         table.data["ipc"][inst.name] = {"storeset": series, "dsre": dsre}
     return table
 

@@ -1,0 +1,293 @@
+"""Parallel, cache-backed execution of sweep plans.
+
+:class:`ParallelRunner` takes a :class:`~repro.harness.sweep.SweepPlan`
+and produces one :class:`CellResult` per cell, in plan order, by
+
+1. probing the :class:`~repro.harness.cache.ResultCache` (when attached)
+   with the cell's content address,
+2. fanning the remaining cells out over a
+   ``concurrent.futures.ProcessPoolExecutor`` (``jobs`` workers; ``jobs=1``
+   runs everything in-process, deterministically, with no executor), and
+3. admitting fresh results to the cache.
+
+Every worker **re-runs the functional interpreter** and refuses to return
+a timing result whose final architectural state (registers + memory)
+differs from the golden model's — so the batch layer doubles as an
+always-on differential checker, and every cached record is a result that
+passed it.  Results carry only counters and digests (picklable and
+JSON-serialisable), never live simulator objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..arch.interp import run_program
+from ..arch.state import ArchState
+from ..errors import GoldenMismatchError
+from ..stats.counters import SimStats
+from ..uarch.cache import CacheStats
+from ..uarch.config import MachineConfig
+from ..uarch.lsq import LsqStats
+from ..uarch.network import NetworkStats
+from ..uarch.predictor import PredictorStats
+from ..uarch.processor import Processor, SimResult
+from ..workloads.common import KernelInstance
+from .cache import SCHEMA_VERSION, ResultCache, cache_key
+from .runner import POINT_ORDER
+from .sweep import SweepCell, SweepPlan
+
+
+def _counters_to_dict(obj) -> Dict[str, int]:
+    return {name: getattr(obj, name) for name in obj.__dataclass_fields__}
+
+
+def _counters_from_dict(cls, data: Dict[str, int]):
+    return cls(**{name: int(data[name])
+                  for name in cls.__dataclass_fields__ if name in data})
+
+
+def arch_state_digest(state: ArchState) -> str:
+    """SHA-256 over the final registers and all non-zero memory words."""
+    h = hashlib.sha256()
+    h.update(",".join(map(str, state.regs)).encode())
+    for addr, word in state.memory.nonzero_words():
+        h.update(f";{addr}:{word}".encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CellResult:
+    """One sweep cell's outcome: counters + digests, fully picklable."""
+
+    kernel: str
+    point: Optional[str]
+    label: str
+    config: MachineConfig
+    stats: SimStats
+    network_stats: NetworkStats
+    lsq_stats: LsqStats
+    l1_stats: CacheStats
+    predictor_stats: PredictorStats
+    arch_digest: str
+    from_cache: bool = False
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+# ----------------------------------------------------------------------
+# Cell execution (runs inside worker processes)
+# ----------------------------------------------------------------------
+
+def _simulate(instance: KernelInstance, config: MachineConfig,
+              golden) -> SimResult:
+    """One timing simulation (separable so tests can fault-inject)."""
+    processor = Processor(instance.program, config, instance.initial_regs,
+                          golden=golden)
+    return processor.run()
+
+
+def _differential_problems(golden_state: ArchState,
+                           timing_state: ArchState,
+                           limit: int = 8) -> List[str]:
+    """Human-readable diffs between golden and timing final states."""
+    problems = []
+    for reg, (want, got) in enumerate(zip(golden_state.regs,
+                                          timing_state.regs)):
+        if want != got:
+            problems.append(f"R{reg} = {got}, golden {want}")
+    golden_mem = dict(golden_state.memory.nonzero_words())
+    timing_mem = dict(timing_state.memory.nonzero_words())
+    for addr in sorted(set(golden_mem) | set(timing_mem)):
+        want, got = golden_mem.get(addr, 0), timing_mem.get(addr, 0)
+        if want != got:
+            problems.append(f"mem[{addr:#x}] = {got}, golden {want}")
+    if len(problems) > limit:
+        problems = problems[:limit] + \
+            [f"... and {len(problems) - limit} more"]
+    return problems
+
+
+def execute_cell(cell: SweepCell) -> dict:
+    """Run one cell from scratch and return its cache record.
+
+    Re-runs the functional interpreter, runs the timing simulation, then
+    asserts the architectural results match (the differential check) and
+    that the kernel's own expectations hold.  Raises
+    :class:`GoldenMismatchError` — never returns — on divergence.
+    """
+    instance = cell.instance
+    config = cell.config()
+    golden_trace, golden_state = run_program(instance.program,
+                                             instance.initial_regs)
+    result = _simulate(instance, config, golden_trace)
+    problems = _differential_problems(golden_state, result.arch)
+    if problems:
+        raise GoldenMismatchError(
+            f"differential check failed for {cell.label}: timing simulator "
+            f"committed state diverges from the golden interpreter: "
+            + "; ".join(problems))
+    expected = instance.check(result.arch)
+    if expected:
+        raise GoldenMismatchError(
+            f"{cell.label}: wrong final state: {expected}")
+    return {
+        "schema": SCHEMA_VERSION,
+        "kernel": instance.name,
+        "point": cell.point,
+        "label": cell.label,
+        "config": config.to_dict(),
+        "result": {
+            "stats": _counters_to_dict(result.stats),
+            "network": _counters_to_dict(result.network_stats),
+            "lsq": _counters_to_dict(result.lsq_stats),
+            "l1": _counters_to_dict(result.l1_stats),
+            "predictor": _counters_to_dict(result.predictor_stats),
+        },
+        "arch_digest": arch_state_digest(result.arch),
+        "halted": result.halted,
+    }
+
+
+def _worker(cell: SweepCell) -> dict:
+    """Process-pool entry point: prune the golden memo and execute."""
+    return execute_cell(cell)
+
+
+def result_from_record(record: dict, from_cache: bool) -> CellResult:
+    """Rebuild a :class:`CellResult` from a cache/worker record."""
+    payload = record["result"]
+    return CellResult(
+        kernel=record["kernel"],
+        point=record["point"],
+        label=record.get("label", record["kernel"]),
+        config=MachineConfig.from_dict(record["config"]),
+        stats=_counters_from_dict(SimStats, payload["stats"]),
+        network_stats=_counters_from_dict(NetworkStats, payload["network"]),
+        lsq_stats=_counters_from_dict(LsqStats, payload["lsq"]),
+        l1_stats=_counters_from_dict(CacheStats, payload["l1"]),
+        predictor_stats=_counters_from_dict(PredictorStats,
+                                            payload["predictor"]),
+        arch_digest=record["arch_digest"],
+        from_cache=from_cache,
+    )
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+
+class ParallelRunner:
+    """Executes sweep plans across worker processes, through a cache.
+
+    ``jobs=1`` (the deterministic fallback) runs every cell in-process in
+    plan order; ``jobs>1`` fans un-cached cells out over a process pool.
+    Either way the returned list is in plan order and — because each cell
+    is an isolated, deterministic simulation — bit-identical across job
+    counts.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None):
+        self.jobs = int(jobs) if jobs is not None else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.cache = cache
+        #: Counters merged across every cell this runner has produced
+        #: (cached or fresh) — the whole-session aggregate.
+        self.merged_stats = SimStats()
+        self.cells_executed = 0
+        self.cells_from_cache = 0
+
+    # -- plan execution -------------------------------------------------
+
+    def run_plan(self, plan: Iterable[SweepCell]) -> List[CellResult]:
+        cells = list(plan)
+        results: List[Optional[CellResult]] = [None] * len(cells)
+        keys: List[Optional[str]] = [None] * len(cells)
+        pending: List[int] = []
+
+        for index, cell in enumerate(cells):
+            config = cell.config()
+            if self.cache is not None:
+                key = cache_key(cell.instance.identity_digest(), config)
+                keys[index] = key
+                record = self.cache.load(key)
+                if record is not None:
+                    results[index] = result_from_record(record,
+                                                        from_cache=True)
+                    continue
+            pending.append(index)
+
+        for index, record in zip(pending, self._execute(
+                [cells[i] for i in pending])):
+            if self.cache is not None:
+                self.cache.store(keys[index], record)
+            results[index] = result_from_record(record, from_cache=False)
+
+        for result in results:
+            self.merged_stats.merge(result.stats)
+            if result.from_cache:
+                self.cells_from_cache += 1
+            else:
+                self.cells_executed += 1
+        return results
+
+    def _execute(self, cells: List[SweepCell]) -> List[dict]:
+        if not cells:
+            return []
+        if self.jobs == 1 or len(cells) == 1:
+            return [execute_cell(cell) for cell in cells]
+        payloads = [self._pruned(cell) for cell in cells]
+        workers = min(self.jobs, len(cells))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_worker, payloads))
+
+    @staticmethod
+    def _pruned(cell: SweepCell) -> SweepCell:
+        """A copy whose instance drops the golden memo (lean pickles)."""
+        instance = dataclasses.replace(cell.instance)
+        return SweepCell(instance, cell.point, dict(cell.overrides),
+                         cell.base)
+
+    # -- single-cell conveniences --------------------------------------
+
+    def run_point(self, instance: KernelInstance, point: Optional[str],
+                  base: Optional[MachineConfig] = None,
+                  **overrides) -> CellResult:
+        plan = SweepPlan()
+        plan.add(instance, point, base, **overrides)
+        return self.run_plan(plan)[0]
+
+    def run_points(self, instance: KernelInstance,
+                   points: Optional[Iterable[str]] = None,
+                   base: Optional[MachineConfig] = None,
+                   **overrides) -> Dict[str, CellResult]:
+        points = tuple(points or POINT_ORDER)
+        plan = SweepPlan()
+        indices = plan.add_points(instance, points, base, **overrides)
+        results = self.run_plan(plan)
+        return {point: results[i] for point, i in indices.items()}
+
+    # -- reporting ------------------------------------------------------
+
+    def summary(self) -> str:
+        parts = [f"{self.cells_executed} simulated",
+                 f"{self.cells_from_cache} from cache"]
+        if self.cache is not None:
+            s = self.cache.session
+            parts.append(f"cache {s.hits} hits / {s.misses} misses"
+                         + (f" / {s.corrupt} corrupt" if s.corrupt else ""))
+        parts.append(f"{self.merged_stats.cycles} cycles simulated")
+        return ", ".join(parts)

@@ -54,12 +54,21 @@ class KernelRun:
 
 
 def golden_of(instance: KernelInstance) -> ExecutionTrace:
-    """Run (and memoise on the instance) the functional golden trace."""
+    """Run (and memoise on the instance) the functional golden trace.
+
+    The memo is stored as ``(identity_digest, trace)`` and re-validated
+    against the instance's current program identity on every hit: the
+    ``_golden_cache`` attribute survives pickling round-trips and direct
+    mutation of ``instance.program``/``initial_regs``, so a bare cached
+    trace could silently go stale.
+    """
+    digest = instance.identity_digest()
     cached = getattr(instance, "_golden_cache", None)
-    if cached is None:
-        cached, _ = run_program(instance.program, instance.initial_regs)
-        instance._golden_cache = cached
-    return cached
+    if isinstance(cached, tuple) and len(cached) == 2 and cached[0] == digest:
+        return cached[1]
+    trace, _ = run_program(instance.program, instance.initial_regs)
+    instance._golden_cache = (digest, trace)
+    return trace
 
 
 def run_point(instance: KernelInstance, point: str,

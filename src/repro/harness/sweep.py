@@ -1,0 +1,90 @@
+"""Sweep planning: enumerating (kernel, machine point, config) cells.
+
+A :class:`SweepPlan` is an ordered list of :class:`SweepCell` — one timing
+simulation each.  Experiments build their whole grid up front and hand it
+to a :class:`~repro.harness.parallel.ParallelRunner`, which executes the
+cells (possibly across worker processes, possibly from cache) and returns
+results in plan order.  Cells are plain picklable data so they can cross a
+``ProcessPoolExecutor`` boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..uarch.config import MachineConfig, default_config
+from ..workloads.common import KernelInstance
+from .runner import STANDARD_POINTS
+
+
+@dataclass
+class SweepCell:
+    """One (kernel, machine point, config overrides) timing simulation.
+
+    ``point`` may be a standard machine-point name (see
+    :data:`~repro.harness.runner.STANDARD_POINTS`) or ``None``, in which
+    case ``overrides`` must carry ``dependence_policy``/``recovery``
+    explicitly (the E4 cross-product study needs points outside the
+    standard five).
+    """
+
+    instance: KernelInstance
+    point: Optional[str]
+    overrides: Dict[str, object] = field(default_factory=dict)
+    base: Optional[MachineConfig] = None
+
+    def config(self) -> MachineConfig:
+        """The fully-derived machine configuration for this cell."""
+        base = self.base or default_config()
+        if self.point is not None:
+            policy, recovery = STANDARD_POINTS[self.point]
+            return base.derive(dependence_policy=policy, recovery=recovery,
+                               **self.overrides)
+        return base.derive(**self.overrides)
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell name for logs and error messages."""
+        point = self.point
+        if point is None:
+            point = "{}/{}".format(
+                self.overrides.get("dependence_policy", "?"),
+                self.overrides.get("recovery", "?"))
+        extra = {k: v for k, v in self.overrides.items()
+                 if k not in ("dependence_policy", "recovery")}
+        suffix = "".join(f" {k}={v}" for k, v in sorted(extra.items()))
+        return f"{self.instance.name} @ {point}{suffix}"
+
+
+class SweepPlan:
+    """An ordered collection of sweep cells.
+
+    ``add`` returns the cell's index, so an experiment can remember where
+    each grid coordinate landed and read the matching entry of the result
+    list the runner hands back.
+    """
+
+    def __init__(self) -> None:
+        self.cells: List[SweepCell] = []
+
+    def add(self, instance: KernelInstance, point: Optional[str],
+            base: Optional[MachineConfig] = None, **overrides) -> int:
+        cell = SweepCell(instance, point, dict(overrides), base)
+        cell.config()          # validate eagerly: fail at plan time
+        self.cells.append(cell)
+        return len(self.cells) - 1
+
+    def add_points(self, instance: KernelInstance,
+                   points: Tuple[str, ...],
+                   base: Optional[MachineConfig] = None,
+                   **overrides) -> Dict[str, int]:
+        """Add one cell per machine point; returns point -> index."""
+        return {point: self.add(instance, point, base, **overrides)
+                for point in points}
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator[SweepCell]:
+        return iter(self.cells)

@@ -1,5 +1,5 @@
 """Statistics collection and report rendering."""
 
-from .counters import SimStats
+from .counters import SimStats, merge_stats
 
-__all__ = ["SimStats"]
+__all__ = ["SimStats", "merge_stats"]

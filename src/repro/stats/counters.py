@@ -87,3 +87,28 @@ class SimStats:
             average_occupancy=self.average_occupancy,
         )
         return base
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "SimStats":
+        """Rebuild counters from a dict (ignores derived keys like ipc)."""
+        return cls(**{name: int(data[name])
+                      for name in cls.__dataclass_fields__ if name in data})
+
+    def merge(self, other: "SimStats") -> "SimStats":
+        """Accumulate another run's counters into this one (in place).
+
+        Sums every raw counter, so derived rates (IPC, ratios) become
+        whole-sweep aggregates.  Used to combine results coming back from
+        worker processes into one session summary.
+        """
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+
+def merge_stats(runs: "list[SimStats]") -> SimStats:
+    """Sum a collection of per-run counters into one aggregate."""
+    total = SimStats()
+    for stats in runs:
+        total.merge(stats)
+    return total

@@ -9,6 +9,8 @@ expressed as variations of :func:`default_config`.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -147,6 +149,53 @@ class MachineConfig:
             overrides.get("fu_latencies", self.fu_latencies))
         clone.validate()
         return clone
+
+    # --- Serialisation ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe dict covering every field (round-trips exactly).
+
+        ``fu_latencies`` is keyed by :class:`OpClass` name so the result
+        survives JSON; key order is canonical (sorted) so two equal configs
+        always serialise identically.
+        """
+        out: Dict[str, object] = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if f.name == "fu_latencies":
+                value = {klass.name: value[klass]
+                         for klass in sorted(value, key=lambda k: k.name)}
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MachineConfig":
+        """Inverse of :meth:`to_dict`; validates the result."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ConfigError(
+                f"unknown config fields: {', '.join(sorted(unknown))}")
+        kwargs = dict(data)
+        if "fu_latencies" in kwargs:
+            try:
+                kwargs["fu_latencies"] = {
+                    OpClass[name]: lat
+                    for name, lat in kwargs["fu_latencies"].items()}
+            except KeyError as exc:
+                raise ConfigError(f"unknown op class {exc}") from None
+        config = cls(**kwargs)
+        config.validate()
+        return config
+
+    def canonical_json(self) -> str:
+        """A canonical one-line JSON form (stable across processes/runs)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def stable_hash(self) -> str:
+        """SHA-256 of the canonical form — the cache-key component."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
 
     def t1_rows(self) -> List[Tuple[str, str]]:
         """Rows of the machine-configuration table (experiment T1)."""

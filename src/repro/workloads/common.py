@@ -9,10 +9,12 @@ both the functional interpreter and the timing simulator.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List
 
 from ..arch.state import ArchState
+from ..isa.encoding import encode
 from ..isa.program import Program
 
 #: Standard data-region bases, spaced far apart so kernels never collide.
@@ -39,6 +41,25 @@ class KernelInstance:
     expected_mem_words: Dict[int, int] = field(default_factory=dict)
     #: Roughly how many dynamic blocks the kernel executes (for harness ETA).
     approx_blocks: int = 0
+
+    def program_bytes(self) -> bytes:
+        """The program's canonical binary encoding (exact round-tripping)."""
+        return encode(self.program)
+
+    def identity_digest(self) -> str:
+        """SHA-256 over program bytes + initial registers.
+
+        Two instances with the same digest execute identically under the
+        golden model, so this is the key for golden-trace memoisation and
+        the program component of the result-cache key.  Instances are
+        mutable and travel through pickle, which is why identity must be
+        derived from content rather than cached on the object.
+        """
+        h = hashlib.sha256()
+        h.update(self.program_bytes())
+        for reg, value in sorted(self.initial_regs.items()):
+            h.update(f"r{reg}={value};".encode())
+        return h.hexdigest()
 
     def check(self, state: ArchState) -> List[str]:
         """Compare a final architectural state against the expectations."""

@@ -1,5 +1,8 @@
 """Unit tests for the machine configuration."""
 
+import dataclasses
+import json
+
 import pytest
 
 from repro.errors import ConfigError
@@ -70,3 +73,81 @@ class TestGeometry:
         assert "Recovery" in rows
         assert "Instruction window" in rows
         assert rows["Dependence policy"] == "aggressive"
+
+
+class TestSerialisation:
+    """to_dict/from_dict must round-trip *every* field exactly, and the
+    canonical form must be stable — config hashing (the result-cache key)
+    silently drifts otherwise."""
+
+    def test_to_dict_covers_every_field(self):
+        data = default_config().to_dict()
+        assert set(data) == {f.name for f in
+                             dataclasses.fields(MachineConfig)}
+
+    def test_round_trip_default(self):
+        config = default_config()
+        assert MachineConfig.from_dict(config.to_dict()) == config
+
+    def test_round_trip_every_field_changed(self):
+        # Change every field away from its default, then round-trip.
+        config = default_config()
+        changed = {}
+        for f in dataclasses.fields(MachineConfig):
+            value = getattr(config, f.name)
+            if f.name == "fu_latencies":
+                changed[f.name] = {k: v + 1 for k, v in value.items()}
+            elif f.name == "dependence_policy":
+                changed[f.name] = "storeset"
+            elif f.name == "recovery":
+                changed[f.name] = "flush"
+            elif f.name == "next_block_predictor":
+                changed[f.name] = "perfect"
+            elif isinstance(value, bool):
+                changed[f.name] = not value
+            elif f.name == "base_latency":
+                changed[f.name] = value + 1   # may be 0 by default
+            else:
+                changed[f.name] = value + 1
+        derived = config.derive(**changed)
+        restored = MachineConfig.from_dict(derived.to_dict())
+        assert restored == derived
+        for name, want in changed.items():
+            assert getattr(restored, name) == want, name
+
+    def test_dict_is_json_safe(self):
+        blob = json.dumps(default_config().to_dict())
+        assert MachineConfig.from_dict(json.loads(blob)) == default_config()
+
+    def test_from_dict_rejects_unknown_field(self):
+        data = default_config().to_dict()
+        data["warp_drive"] = 9
+        with pytest.raises(ConfigError, match="warp_drive"):
+            MachineConfig.from_dict(data)
+
+    def test_from_dict_rejects_unknown_op_class(self):
+        data = default_config().to_dict()
+        data["fu_latencies"] = dict(data["fu_latencies"], BOGUS=1)
+        with pytest.raises(ConfigError):
+            MachineConfig.from_dict(data)
+
+    def test_from_dict_validates(self):
+        data = default_config().to_dict()
+        data["recovery"] = "undo"
+        with pytest.raises(ConfigError):
+            MachineConfig.from_dict(data)
+
+    def test_canonical_json_stable(self):
+        a = default_config()
+        b = default_config()
+        assert a.canonical_json() == b.canonical_json()
+        assert a.stable_hash() == b.stable_hash()
+
+    def test_hash_changes_with_any_field(self):
+        base = default_config().stable_hash()
+        assert default_config(max_frames=16).stable_hash() != base
+        assert default_config(recovery="flush").stable_hash() != base
+        latencies = dict(default_config().fu_latencies)
+        latencies[OpClass.INT_MUL] += 1
+        assert default_config(
+            fu_latencies=latencies).stable_hash() != base

@@ -83,3 +83,31 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Machine configuration" in out
         assert "regenerated" in out
+
+    def test_e1_with_jobs_and_kernel_subset(self, capsys, tmp_path):
+        assert cli_main(["e1", "--jobs", "1", "--kernels", "queue",
+                         "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "queue" in out
+        assert "geomean" in out
+        assert "sweep:" in out
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "c")
+        assert cli_main(["e1", "--jobs", "1", "--kernels", "queue",
+                         "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert cli_main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries         5" in out
+        assert cli_main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 5" in capsys.readouterr().out
+
+    def test_cache_usage_error(self, capsys):
+        assert cli_main(["cache", "bogus"]) == 2
+
+    def test_no_cache_flag(self, capsys, tmp_path):
+        assert cli_main(["e1", "--jobs", "1", "--kernels", "queue",
+                         "--no-cache",
+                         "--cache-dir", str(tmp_path / "c")]) == 0
+        assert not (tmp_path / "c").exists()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.stats.counters import SimStats
+from repro.stats.counters import SimStats, merge_stats
 from repro.stats.report import Table, geomean, ratio
 
 
@@ -31,6 +31,43 @@ class TestSimStats:
         d = SimStats(cycles=10, committed_instructions=20).as_dict()
         assert d["ipc"] == 2.0
         assert d["cycles"] == 10
+
+    def test_from_dict_round_trip(self):
+        stats = SimStats(cycles=7, committed_blocks=3, reexecutions=2)
+        assert SimStats.from_dict(stats.as_dict()) == stats
+
+    def test_from_dict_ignores_derived_keys(self):
+        d = SimStats(cycles=10, committed_instructions=20).as_dict()
+        assert "ipc" in d
+        restored = SimStats.from_dict(d)
+        assert restored.cycles == 10
+        assert restored.ipc == 2.0
+
+
+class TestMerge:
+    def test_merge_sums_every_counter(self):
+        a = SimStats(cycles=10, committed_instructions=5, executions=7)
+        b = SimStats(cycles=3, committed_instructions=2, violation_flushes=1)
+        a.merge(b)
+        assert a.cycles == 13
+        assert a.committed_instructions == 7
+        assert a.executions == 7
+        assert a.violation_flushes == 1
+
+    def test_merge_returns_self(self):
+        a = SimStats()
+        assert a.merge(SimStats(cycles=1)) is a
+
+    def test_merge_stats_aggregate(self):
+        runs = [SimStats(cycles=i, committed_blocks=1) for i in (1, 2, 3)]
+        total = merge_stats(runs)
+        assert total.cycles == 6
+        assert total.committed_blocks == 3
+        for stats, want in zip(runs, (1, 2, 3)):
+            assert stats.cycles == want     # inputs untouched
+
+    def test_merge_stats_empty(self):
+        assert merge_stats([]) == SimStats()
 
 
 class TestTable:

@@ -1,0 +1,272 @@
+"""Tests for the batch execution layer: sweep plans, the parallel runner,
+the content-addressed result cache, and the always-on differential check."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.errors import GoldenMismatchError
+from repro.harness import (ParallelRunner, ResultCache, SweepPlan, cache_key,
+                           execute_cell)
+from repro.harness import parallel as parallel_mod
+from repro.harness.cache import SCHEMA_VERSION
+from repro.harness.sweep import SweepCell
+from repro.uarch.config import default_config
+from repro.workloads import KERNELS
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"))
+
+
+def small():
+    return KERNELS["queue"].build(12)
+
+
+def stats_of(results):
+    return [r.stats.as_dict() for r in results]
+
+
+def two_point_plan(plan=None):
+    plan = plan or SweepPlan()
+    inst = small()
+    plan.add(inst, "dsre")
+    plan.add(inst, "storeset")
+    return plan
+
+
+class TestCacheHitMiss:
+    def test_cold_then_warm(self, cache):
+        runner = ParallelRunner(jobs=1, cache=cache)
+        first = runner.run_plan(two_point_plan())
+        assert all(not r.from_cache for r in first)
+        assert cache.session.stored == 2
+
+        warm = ParallelRunner(jobs=1, cache=cache)
+        second = warm.run_plan(two_point_plan())
+        assert all(r.from_cache for r in second)
+        assert warm.cells_executed == 0
+        assert stats_of(first) == stats_of(second)
+
+    def test_cache_disabled_always_executes(self):
+        runner = ParallelRunner(jobs=1, cache=None)
+        results = runner.run_plan(two_point_plan())
+        assert all(not r.from_cache for r in results)
+
+    def test_config_change_invalidates(self, cache):
+        runner = ParallelRunner(jobs=1, cache=cache)
+        runner.run_point(small(), "dsre", max_frames=2)
+        # Same kernel + point, different machine: must miss.
+        again = ParallelRunner(jobs=1, cache=cache)
+        result = again.run_point(small(), "dsre", max_frames=4)
+        assert not result.from_cache
+        # And the original cell still hits.
+        third = ParallelRunner(jobs=1, cache=cache)
+        assert third.run_point(small(), "dsre", max_frames=2).from_cache
+
+    def test_program_change_invalidates(self, cache):
+        ParallelRunner(jobs=1, cache=cache).run_point(
+            KERNELS["queue"].build(12), "dsre")
+        result = ParallelRunner(jobs=1, cache=cache).run_point(
+            KERNELS["queue"].build(16), "dsre")
+        assert not result.from_cache
+
+    def test_key_is_stable_across_processes(self):
+        # The key must not depend on dict order, object ids, or PYTHONHASHSEED.
+        inst = small()
+        key = cache_key(inst.identity_digest(), default_config())
+        assert key == cache_key(small().identity_digest(), default_config())
+        assert len(key) == 64
+
+
+class TestCorruptEntries:
+    def _single_entry(self, cache):
+        ParallelRunner(jobs=1, cache=cache).run_point(small(), "dsre")
+        paths = cache.entries()
+        assert len(paths) == 1
+        return paths[0]
+
+    @pytest.mark.parametrize("garbage", [
+        b"", b"not json{{{", b'"a json string, not an object"',
+        json.dumps({"schema": SCHEMA_VERSION}).encode(),
+        json.dumps({"schema": 999, "key": "x", "kernel": "q", "point": "p",
+                    "config": {}, "result": {}, "arch_digest": ""}).encode(),
+    ])
+    def test_corrupt_entry_recovers(self, cache, garbage):
+        path = self._single_entry(cache)
+        with open(path, "wb") as fh:
+            fh.write(garbage)
+        runner = ParallelRunner(jobs=1, cache=cache)
+        result = runner.run_point(small(), "dsre")
+        assert not result.from_cache          # treated as a miss...
+        assert cache.session.corrupt == 1     # ...and reported
+        # ...and the entry is rewritten valid: a fresh runner hits.
+        assert ParallelRunner(jobs=1, cache=cache).run_point(
+            small(), "dsre").from_cache
+
+    def test_invalid_config_in_record_rejected(self, cache):
+        path = self._single_entry(cache)
+        with open(path) as fh:
+            record = json.load(fh)
+        record["config"]["recovery"] = "undo"
+        with open(path, "w") as fh:
+            json.dump(record, fh)
+        result = ParallelRunner(jobs=1, cache=cache).run_point(
+            small(), "dsre")
+        assert not result.from_cache
+        assert cache.session.corrupt == 1
+
+    def test_key_mismatch_rejected(self, cache):
+        path = self._single_entry(cache)
+        with open(path) as fh:
+            record = json.load(fh)
+        record["key"] = "0" * 64
+        with open(path, "w") as fh:
+            json.dump(record, fh)
+        result = ParallelRunner(jobs=1, cache=cache).run_point(
+            small(), "dsre")
+        assert not result.from_cache
+        assert cache.session.corrupt == 1
+
+    def test_stats_and_clear(self, cache):
+        self._single_entry(cache)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["per_kernel"] == {"queue": 1}
+        assert cache.clear() == 1
+        assert cache.stats()["entries"] == 0
+
+
+class TestParallelEqualsSerial:
+    def test_results_identical(self):
+        plan_a, plan_b = two_point_plan(), two_point_plan()
+        serial = ParallelRunner(jobs=1).run_plan(plan_a)
+        parallel = ParallelRunner(jobs=2).run_plan(plan_b)
+        assert stats_of(serial) == stats_of(parallel)
+        assert [r.arch_digest for r in serial] == \
+            [r.arch_digest for r in parallel]
+
+    def test_parallel_fills_cache_identically(self, cache, tmp_path):
+        other = ResultCache(str(tmp_path / "other"))
+        ParallelRunner(jobs=1, cache=cache).run_plan(two_point_plan())
+        ParallelRunner(jobs=2, cache=other).run_plan(two_point_plan())
+        def load(c):
+            records = [json.load(open(p)) for p in c.entries()]
+            return sorted(records, key=lambda r: r["key"])
+        assert load(cache) == load(other)
+
+
+class TestDeterminism:
+    def test_jobs1_repeatable(self):
+        a = ParallelRunner(jobs=1).run_plan(two_point_plan())
+        b = ParallelRunner(jobs=1).run_plan(two_point_plan())
+        assert stats_of(a) == stats_of(b)
+        assert [r.label for r in a] == [r.label for r in b]
+
+    def test_merged_stats_accumulate(self):
+        runner = ParallelRunner(jobs=1)
+        results = runner.run_plan(two_point_plan())
+        assert runner.merged_stats.cycles == \
+            sum(r.stats.cycles for r in results)
+        assert runner.cells_executed == 2
+
+
+class TestDifferentialCheck:
+    def test_corrupted_timing_result_rejected(self, monkeypatch):
+        """A timing result whose architectural state diverges from the
+        golden interpreter must be rejected with a clear error — and never
+        admitted to the cache."""
+        real = parallel_mod._simulate
+
+        def corrupted(instance, config, golden):
+            result = real(instance, config, golden)
+            result.arch.set_reg(2, result.arch.get_reg(2) ^ 0xDEAD)
+            return result
+
+        monkeypatch.setattr(parallel_mod, "_simulate", corrupted)
+        with pytest.raises(GoldenMismatchError,
+                           match="differential check failed.*R2"):
+            execute_cell(SweepCell(small(), "dsre"))
+
+    def test_corrupted_memory_rejected(self, monkeypatch):
+        real = parallel_mod._simulate
+
+        def corrupted(instance, config, golden):
+            result = real(instance, config, golden)
+            result.arch.memory.write_word(0x9_0000, 0x1234)
+            return result
+
+        monkeypatch.setattr(parallel_mod, "_simulate", corrupted)
+        with pytest.raises(GoldenMismatchError, match="mem\\[0x90000\\]"):
+            execute_cell(SweepCell(small(), "dsre"))
+
+    def test_nothing_cached_on_failure(self, cache, monkeypatch):
+        real = parallel_mod._simulate
+
+        def corrupted(instance, config, golden):
+            result = real(instance, config, golden)
+            result.arch.set_reg(1, 0xBAD)
+            return result
+
+        monkeypatch.setattr(parallel_mod, "_simulate", corrupted)
+        runner = ParallelRunner(jobs=1, cache=cache)
+        with pytest.raises(GoldenMismatchError):
+            runner.run_point(small(), "dsre")
+        assert cache.entries() == []
+
+    def test_kernel_expectation_still_checked(self):
+        inst = small()
+        inst.expected_regs[2] = 999999
+        with pytest.raises(GoldenMismatchError, match="wrong final state"):
+            execute_cell(SweepCell(inst, "dsre"))
+
+
+class TestGoldenMemo:
+    def test_memo_keyed_on_program_identity(self):
+        from repro.harness import golden_of
+        inst = small()
+        trace = golden_of(inst)
+        assert golden_of(inst) is trace            # hit
+        # Mutating the inputs must invalidate the memo, even though the
+        # attribute survives (e.g. across pickling round-trips).
+        inst.initial_regs[9] = 42
+        assert golden_of(inst) is not trace
+
+    def test_legacy_memo_format_ignored(self):
+        from repro.harness import golden_of
+        inst = small()
+        inst._golden_cache = object()              # pre-refactor layout
+        trace = golden_of(inst)
+        assert trace.block_count > 0
+
+    def test_memo_survives_pickle_and_revalidates(self):
+        import pickle
+        from repro.harness import golden_of
+        inst = small()
+        golden_of(inst)
+        clone = pickle.loads(pickle.dumps(inst))
+        assert golden_of(clone).block_count == golden_of(inst).block_count
+
+
+class TestPlan:
+    def test_add_validates_eagerly(self):
+        plan = SweepPlan()
+        with pytest.raises(Exception):
+            plan.add(small(), "dsre", max_frames=0)
+        assert len(plan) == 0
+
+    def test_explicit_policy_cells(self):
+        plan = SweepPlan()
+        plan.add(small(), None, dependence_policy="storeset",
+                 recovery="dsre")
+        cell = plan.cells[0]
+        assert cell.config().dependence_policy == "storeset"
+        assert cell.config().recovery == "dsre"
+        assert "storeset/dsre" in cell.label
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=0)
