@@ -1,13 +1,124 @@
 """Simulator throughput: how fast the Python model itself runs.
 
 Not a paper experiment — a health metric for the repository.  Regressions
-here make the full-scale harness painful, so the benchmark pins a floor.
+here make the full-scale harness painful, so this file does two jobs:
+
+* pin absolute floors (the model must stay usable at all), and
+* measure a (kernel x machine point) throughput grid, emit it as
+  ``BENCH_sim.json``, and gate against the committed
+  ``benchmarks/BENCH_baseline.json``.
+
+Raw inst/s numbers are machine-dependent, so the regression gate compares
+*normalized* throughput: the simulator's committed-instructions/sec divided
+by the functional interpreter's instructions/sec measured in the same
+process.  Both are pure Python, so the ratio cancels most of the host-speed
+difference between the machine that recorded the baseline and the machine
+running the check.
+
+Environment knobs:
+
+* ``BENCH_FULL=1`` — run every kernel at its full evaluation scale
+  (minutes) instead of the pinned CI subset at test scales (seconds).
+* ``BENCH_UPDATE_BASELINE=1`` — rewrite ``benchmarks/BENCH_baseline.json``
+  with this run's numbers instead of gating against it.
 """
 
+import json
+import math
+import os
 import time
+from pathlib import Path
 
-from repro.harness.runner import golden_of, run_point
+from repro.arch import run_program
+from repro.harness.runner import POINT_ORDER, golden_of, run_point
 from repro.workloads import KERNELS
+
+#: Small kernel mix for the CI grid: memory-parallel (vecsum), pointer
+#: chain (listsum), serial/busy (crc), and conflict-heavy (stencil).
+GRID_KERNELS = ("vecsum", "listsum", "crc", "stencil")
+
+#: Allowed normalized-throughput regression vs the committed baseline.
+REGRESSION_TOLERANCE = 0.20
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
+OUTPUT_PATH = REPO_ROOT / "BENCH_sim.json"
+
+
+def _calibration_rate() -> float:
+    """Functional-interpreter inst/s: the host-speed yardstick."""
+    instance = KERNELS["dotprod"].build(800)
+    run_program(instance.program, instance.initial_regs)        # warm
+    best = None
+    for _ in range(3):
+        t0 = time.perf_counter()
+        trace, _ = run_program(instance.program, instance.initial_regs)
+        dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+    return trace.dynamic_instructions / best
+
+
+def _grid_instances(full: bool):
+    if full:
+        return [(name, spec.build_default()) for name, spec in
+                KERNELS.items()]
+    return [(name, KERNELS[name].build_test()) for name in GRID_KERNELS]
+
+
+def test_simulator_throughput_grid():
+    full = os.environ.get("BENCH_FULL") == "1"
+    update = os.environ.get("BENCH_UPDATE_BASELINE") == "1"
+    calibration = _calibration_rate()
+
+    cells = {}
+    rates = []
+    for name, instance in _grid_instances(full):
+        golden_of(instance)                  # exclude golden from timing
+        for point in POINT_ORDER:
+            run_point(instance, point)       # warm (templates, caches)
+            best = None
+            for _ in range(2):
+                t0 = time.perf_counter()
+                result = run_point(instance, point)
+                dt = time.perf_counter() - t0
+                if best is None or dt < best:
+                    best = dt
+            rate = result.stats.committed_instructions / best
+            cells[f"{name}/{point}"] = {
+                "insts": result.stats.committed_instructions,
+                "secs": round(best, 6),
+                "rate": round(rate, 1),
+            }
+            rates.append(rate)
+
+    geomean = math.exp(sum(math.log(r) for r in rates) / len(rates))
+    normalized = geomean / calibration
+    report = {
+        "full": full,
+        "cells": cells,
+        "geomean_rate": round(geomean, 1),
+        "calibration_rate": round(calibration, 1),
+        "normalized": round(normalized, 5),
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=1, sort_keys=True)
+                           + "\n")
+
+    if update:
+        BASELINE_PATH.write_text(
+            json.dumps(report, indent=1, sort_keys=True) + "\n")
+        return
+    if full or not BASELINE_PATH.exists():
+        # The committed baseline records the CI-subset grid; full-scale
+        # runs just emit BENCH_sim.json for the trajectory record.
+        return
+    baseline = json.loads(BASELINE_PATH.read_text())
+    floor = baseline["normalized"] * (1.0 - REGRESSION_TOLERANCE)
+    assert normalized >= floor, (
+        f"simulator throughput regressed: normalized {normalized:.4f} < "
+        f"{floor:.4f} (baseline {baseline['normalized']:.4f} - "
+        f"{REGRESSION_TOLERANCE:.0%}); if intentional, rerun with "
+        f"BENCH_UPDATE_BASELINE=1 and commit BENCH_baseline.json")
 
 
 def test_simulator_throughput(benchmark):
@@ -28,7 +139,6 @@ def test_simulator_throughput(benchmark):
 
 
 def test_functional_model_throughput(benchmark):
-    from repro.arch import run_program
     instance = KERNELS["dotprod"].build(800)
 
     def interpret():

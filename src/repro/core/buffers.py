@@ -27,14 +27,14 @@ from ..errors import SimulationError
 from .tokens import ProducerKey, SlotStatus, Token, TokenValue
 
 
-@dataclass
+@dataclass(slots=True)
 class _Latest:
     wave: int
     value: TokenValue
     final: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Effective:
     """Snapshot of a slot's resolved state (hashable for signatures)."""
 
@@ -54,7 +54,7 @@ EMPTY_EFFECTIVE = Effective(SlotStatus.EMPTY)
 class TokenBuffer:
     """Latest-token-per-producer buffer for one consumption point."""
 
-    __slots__ = ("_order", "_latest", "_effective")
+    __slots__ = ("_order", "_latest", "_effective", "_final")
 
     def __init__(self, producers: Sequence[ProducerKey]):
         if not producers:
@@ -63,6 +63,24 @@ class TokenBuffer:
             p: n for n, p in enumerate(producers)}
         self._latest: Dict[ProducerKey, _Latest] = {}
         self._effective: Effective = EMPTY_EFFECTIVE
+        #: Cached finality; ``_latest`` only mutates inside ``deposit``,
+        #: which refreshes this after every change.
+        self._final = False
+
+    @classmethod
+    def from_shared(cls, order: Dict[ProducerKey, int]) -> "TokenBuffer":
+        """Construct around a prebuilt (and shared, read-only) order map.
+
+        Frames of the same block rebuild identical producer-order maps for
+        every slot; the frame template validates them once and hands the
+        same dict to every instance — the buffer itself never mutates it.
+        """
+        buf = cls.__new__(cls)
+        buf._order = order
+        buf._latest = {}
+        buf._effective = EMPTY_EFFECTIVE
+        buf._final = False
+        return buf
 
     # ------------------------------------------------------------------
 
@@ -79,7 +97,7 @@ class TokenBuffer:
         current = self._latest.get(producer)
         if current is not None and token.wave < current.wave:
             return False, False
-        was_final = self.is_final()
+        was_final = self._final
         if current is not None and token.wave == current.wave:
             if current.value != token.value:
                 raise SimulationError(
@@ -88,36 +106,71 @@ class TokenBuffer:
             if current.final or not token.final:
                 return False, False
             current.final = True
+        elif current is not None:
+            # Higher wave from a known producer: update in place.
+            current.wave = token.wave
+            current.value = token.value
+            current.final = token.final
         else:
             self._latest[producer] = _Latest(
                 token.wave, token.value, token.final)
-        old = self._effective
-        self._recompute()
-        finality_changed = self.is_final() and not was_final
-        effective_changed = (old.status, old.value) != (
-            self._effective.status, self._effective.value)
-        return effective_changed, finality_changed
-
-    def _recompute(self) -> None:
+        # Refresh ``_effective`` and ``_final`` in one pass over ``_latest``
+        # (inline: deposit is the only mutation point and the hottest call
+        # in the token path).
+        order = self._order
+        if len(order) == 1:
+            # Single static producer (the common case): the effective
+            # state mirrors its latest token directly.
+            latest = self._latest[producer]
+            old = self._effective
+            if latest.value is not None:
+                effective = Effective(SlotStatus.VALUE, latest.value,
+                                      producer, latest.wave)
+            else:
+                effective = Effective(SlotStatus.ALL_NULL)
+            self._effective = effective
+            self._final = latest.final
+            return ((old.status is not effective.status
+                     or old.value != effective.value),
+                    latest.final and not was_final)
         best: Optional[Tuple[int, int]] = None
+        best_latest = None
         best_producer: Optional[ProducerKey] = None
         nulls = 0
+        all_final = len(self._latest) == len(order)
+        non_null_finals = 0
         for producer, latest in self._latest.items():
+            if latest.final:
+                if latest.value is not None:
+                    non_null_finals += 1
+            else:
+                all_final = False
             if latest.value is None:
                 nulls += 1
                 continue
-            key = (latest.wave, self._order[producer])
+            key = (latest.wave, order[producer])
             if best is None or key > best:
                 best = key
+                best_latest = latest
                 best_producer = producer
+        old = self._effective
         if best_producer is not None:
-            latest = self._latest[best_producer]
-            self._effective = Effective(
-                SlotStatus.VALUE, latest.value, best_producer, latest.wave)
-        elif nulls == len(self._order):
-            self._effective = Effective(SlotStatus.ALL_NULL)
+            effective = Effective(
+                SlotStatus.VALUE, best_latest.value, best_producer,
+                best_latest.wave)
+        elif nulls == len(order):
+            effective = Effective(SlotStatus.ALL_NULL)
         else:
-            self._effective = EMPTY_EFFECTIVE
+            effective = EMPTY_EFFECTIVE
+        if all_final and non_null_finals > 1:
+            raise SimulationError(
+                "slot finalised with more than one non-null producer "
+                "(program has two unconditional writers)")
+        self._effective = effective
+        self._final = all_final
+        return ((old.status is not effective.status
+                 or old.value != effective.value),
+                all_final and not was_final)
 
     # ------------------------------------------------------------------
 
@@ -131,19 +184,7 @@ class TokenBuffer:
 
     def is_final(self) -> bool:
         """True when every producer has committed (sent a final token)."""
-        if len(self._latest) != len(self._order):
-            return False
-        non_null_finals = 0
-        for latest in self._latest.values():
-            if not latest.final:
-                return False
-            if latest.value is not None:
-                non_null_finals += 1
-        if non_null_finals > 1:
-            raise SimulationError(
-                "slot finalised with more than one non-null producer "
-                "(program has two unconditional writers)")
-        return True
+        return self._final
 
     def final_effective(self) -> Effective:
         """The effective value once final (callers must check is_final)."""

@@ -34,7 +34,7 @@ from ..isa.instruction import Instruction, Slot
 from ..isa.opcodes import Opcode
 from ..isa.semantics import effective_address, evaluate_alu
 from ..isa.values import is_true, to_unsigned
-from .buffers import Effective, SlotStatus, TokenBuffer
+from .buffers import EMPTY_EFFECTIVE, Effective, SlotStatus, TokenBuffer
 from .tokens import ProducerKey, Token, TokenValue
 
 #: Signature of an issue: per required slot, the (producer, wave) that fed it
@@ -50,7 +50,7 @@ class OutcomeKind(enum.Enum):
     BRANCH = "branch"          # block exit target resolved
 
 
-@dataclass
+@dataclass(slots=True)
 class Outcome:
     """What one node execution produced."""
 
@@ -65,14 +65,47 @@ class NodeState(enum.Enum):
     EXECUTING = "executing"    # occupying a functional unit
 
 
+_NULL_OUTCOME = Outcome(OutcomeKind.NULL)
+
+
+#: Outcome-dispatch codes precomputed per static instruction.
+_PLAN_BRANCH = 0
+_PLAN_LOAD = 1
+_PLAN_STORE = 2
+_PLAN_MOVI = 3
+_PLAN_ALU = 4
+
+
+def _exec_plan(inst: Instruction) -> Tuple:
+    """Static dispatch data for ``_compute_outcome``: the outcome kind,
+    predicate sense, address immediate, unsigned value immediate, opcode
+    and branch target — everything that never changes between waves."""
+    opcode = inst.opcode
+    if opcode is Opcode.BRO:
+        kind = _PLAN_BRANCH
+    elif opcode is Opcode.LOAD:
+        kind = _PLAN_LOAD
+    elif opcode is Opcode.STORE:
+        kind = _PLAN_STORE
+    elif opcode is Opcode.MOVI:
+        kind = _PLAN_MOVI
+    else:
+        kind = _PLAN_ALU
+    imm = inst.imm
+    imm_u = to_unsigned(imm) if imm is not None else None
+    return (kind, inst.pred, imm or 0, imm_u, opcode, inst.branch_target)
+
+
 class InstructionNode:
     """One instruction of one in-flight frame."""
 
     __slots__ = (
-        "frame_uid", "index", "inst", "buffers", "state",
+        "frame_uid", "index", "inst", "_buffers", "state",
         "exec_count", "out_wave", "issued_signature", "last_outcome",
         "last_sent", "final_emitted", "lsq_value", "lsq_value_wave",
-        "exec_useful", "last_lsq",
+        "exec_useful", "last_lsq", "_buffer_list", "_sig_slots",
+        "_buf_by_val", "_op0_buf", "_op1_buf", "_pred_buf", "_sig_cache",
+        "_plan", "_producer_key",
     )
 
     def __init__(self, frame_uid: int, index: int, inst: Instruction,
@@ -80,13 +113,90 @@ class InstructionNode:
         self.frame_uid = frame_uid
         self.index = index
         self.inst = inst
-        self.buffers: Dict[Slot, TokenBuffer] = {}
+        buffers: Dict[Slot, TokenBuffer] = {}
         for slot in inst.required_slots():
             producers = slot_producers.get(slot)
             if not producers:
                 raise SimulationError(
                     f"I{index} slot {slot.name} mapped with no producers")
-            self.buffers[slot] = TokenBuffer(producers)
+            buffers[slot] = TokenBuffer(producers)
+        self._buffers = buffers
+        self._finish_init()
+
+    @classmethod
+    def from_template(cls, frame_uid: int, index: int, inst: Instruction,
+                      slot_orders, plan, producer_key,
+                      sig_slots) -> "InstructionNode":
+        """Fast construction from a prevalidated frame template.
+
+        ``slot_orders`` is a tuple of (slot value, shared producer-order
+        dict) pairs in slot-value order — see :func:`build_node_template`.
+        Mapping a frame builds every node of the block through here, so
+        this duplicates ``_finish_init`` inline (and builds the buffers by
+        hand) rather than paying per-node calls; the ``buffers`` dict view
+        is materialised lazily (cold paths only).
+        """
+        node = cls.__new__(cls)
+        node.frame_uid = frame_uid
+        node.index = index
+        node.inst = inst
+        buffer_list = []
+        buf_by_val = {}
+        new_buf = TokenBuffer.__new__
+        for val, order in slot_orders:
+            buf = new_buf(TokenBuffer)
+            buf._order = order
+            buf._latest = {}
+            buf._effective = EMPTY_EFFECTIVE
+            buf._final = False
+            buffer_list.append(buf)
+            buf_by_val[val] = buf
+        node._buffers = None
+        node._buffer_list = buffer_list
+        node._sig_slots = sig_slots
+        node._buf_by_val = buf_by_val
+        node._op0_buf = buf_by_val.get(0)
+        node._op1_buf = buf_by_val.get(1)
+        node._pred_buf = buf_by_val.get(2)
+        node._plan = plan
+        node._producer_key = producer_key
+        node._sig_cache = None
+        node.state = NodeState.IDLE
+        node.exec_count = 0
+        node.out_wave = 0
+        node.issued_signature = None
+        node.last_outcome = None
+        node.last_sent = None
+        node.final_emitted = False
+        node.lsq_value = None
+        node.lsq_value_wave = 0
+        node.exec_useful = 0
+        node.last_lsq = None
+        return node
+
+    @property
+    def buffers(self) -> Dict[Slot, TokenBuffer]:
+        """Slot -> buffer mapping (cold paths; built lazily per node)."""
+        d = self._buffers
+        if d is None:
+            d = dict(zip(self._sig_slots, self._buffer_list))
+            self._buffers = d
+        return d
+
+    def _finish_init(self) -> None:
+        # Hot-path views of ``buffers``: the plain value list and slot
+        # tuple in signature order (sorted by slot value), and an
+        # int-keyed map that avoids hashing Slot enum members per deposit.
+        pairs = sorted(self._buffers.items(), key=lambda kv: kv[0].value)
+        self._buffer_list = [buf for _, buf in pairs]
+        self._sig_slots = tuple(slot for slot, _ in pairs)
+        self._buf_by_val = {slot._value_: buf for slot, buf in pairs}
+        self._op0_buf = self._buf_by_val.get(Slot.OP0._value_)
+        self._op1_buf = self._buf_by_val.get(Slot.OP1._value_)
+        self._pred_buf = self._buf_by_val.get(Slot.PRED._value_)
+        self._plan = _exec_plan(self.inst)
+        self._producer_key = ("inst", self.index)
+        self._sig_cache: Optional[IssueSignature] = None
         self.state = NodeState.IDLE
         self.exec_count = 0            # times through a functional unit
         self.out_wave = 0              # output generation counter
@@ -109,27 +219,43 @@ class InstructionNode:
     def deposit(self, token: Token) -> bool:
         """Absorb an operand token; True if the node may need (re-)issuing
         or finalising."""
-        buffer = self.buffers.get(token.dest[2])
+        slot = token.dest[2]
+        buffer = (self._buf_by_val.get(slot._value_)
+                  if slot is not None else None)
         if buffer is None:
             raise SimulationError(f"token to unmapped slot: {token}")
+        self._sig_cache = None
         effective_changed, finality_changed = buffer.deposit(token)
         return effective_changed or finality_changed
 
     def all_resolved(self) -> bool:
-        return all(b.resolved for b in self.buffers.values())
+        for b in self._buffer_list:
+            if b._effective.status is SlotStatus.EMPTY:
+                return False
+        return True
 
     def inputs_final(self) -> bool:
-        return all(b.is_final() for b in self.buffers.values())
+        for b in self._buffer_list:
+            if not b._final:
+                return False
+        return True
 
     def current_signature(self) -> IssueSignature:
+        # Buffer state only changes through deposit(), which clears the
+        # cache; between deposits the signature is immutable.
+        sig = self._sig_cache
+        if sig is not None:
+            return sig
         parts = []
-        for slot in sorted(self.buffers, key=lambda s: s.value):
-            eff = self.buffers[slot].effective
+        for slot, buffer in zip(self._sig_slots, self._buffer_list):
+            eff = buffer._effective
             if eff.status is SlotStatus.VALUE:
                 parts.append((slot, (eff.producer, eff.wave)))
             else:
                 parts.append((slot, None))
-        return tuple(parts)
+        sig = tuple(parts)
+        self._sig_cache = sig
+        return sig
 
     # ------------------------------------------------------------------
     # Fire rule
@@ -138,14 +264,19 @@ class InstructionNode:
     def can_issue(self) -> bool:
         if self.state is not NodeState.IDLE:
             return False
-        if not self.all_resolved():
-            return False
+        for b in self._buffer_list:
+            if b._effective.status is SlotStatus.EMPTY:
+                return False
         return self.exec_count == 0 \
             or self.current_signature() != self.issued_signature
 
     def begin_execution(self) -> None:
         if not self.can_issue():
             raise SimulationError(f"I{self.index} issued while not ready")
+        self._begin_issued()
+
+    def _begin_issued(self) -> None:
+        """Issue without revalidating (caller just checked ``can_issue``)."""
         self.state = NodeState.EXECUTING
         self.issued_signature = self.current_signature()
         self.exec_count += 1
@@ -179,34 +310,47 @@ class InstructionNode:
         eff = self._effective(slot)
         return eff.value if eff.status is SlotStatus.VALUE else 0
 
+    def _buf_value(self, buffer: Optional[TokenBuffer], slot: Slot) -> int:
+        if buffer is None:
+            raise KeyError(slot)
+        eff = buffer._effective
+        return eff.value if eff.status is SlotStatus.VALUE else 0
+
     def _compute_outcome(self) -> Outcome:
-        inst = self.inst
-        for slot in self.buffers:
-            if self._effective(slot).status is SlotStatus.ALL_NULL:
-                return Outcome(OutcomeKind.NULL)
-        if inst.pred is not None:
-            if is_true(self._value(Slot.PRED)) != inst.pred:
-                return Outcome(OutcomeKind.NULL)
-        if inst.is_branch:
-            return Outcome(OutcomeKind.BRANCH, value=inst.branch_target)
-        if inst.is_load:
-            addr = effective_address(self._value(Slot.OP0), inst.imm or 0)
+        for buffer in self._buffer_list:
+            if buffer._effective.status is SlotStatus.ALL_NULL:
+                return _NULL_OUTCOME
+        # Static per-instruction dispatch data, precomputed once (see
+        # ``_exec_plan``): avoids the opcode-property chain per execution.
+        kind, pred, addr_imm, imm_u, opcode, branch_target = self._plan
+        if pred is not None:
+            if is_true(self._buf_value(self._pred_buf, Slot.PRED)) != pred:
+                return _NULL_OUTCOME
+        if kind == _PLAN_ALU:
+            op0 = self._buf_value(self._op0_buf, Slot.OP0)
+            if imm_u is not None:
+                op1 = imm_u
+            elif self._op1_buf is not None:
+                op1 = self._buf_value(self._op1_buf, Slot.OP1)
+            else:
+                op1 = 0
+            return Outcome(OutcomeKind.VALUE,
+                           value=evaluate_alu(opcode, op0, op1))
+        if kind == _PLAN_LOAD:
+            addr = effective_address(
+                self._buf_value(self._op0_buf, Slot.OP0), addr_imm)
             return Outcome(OutcomeKind.LOAD_REQUEST, addr=addr)
-        if inst.is_store:
-            addr = effective_address(self._value(Slot.OP0), inst.imm or 0)
+        if kind == _PLAN_STORE:
+            addr = effective_address(
+                self._buf_value(self._op0_buf, Slot.OP0), addr_imm)
             return Outcome(OutcomeKind.STORE_UPDATE, addr=addr,
-                           store_value=self._value(Slot.OP1))
-        if inst.opcode is Opcode.MOVI:
-            return Outcome(OutcomeKind.VALUE, value=to_unsigned(inst.imm))
-        op0 = self._value(Slot.OP0)
-        if inst.imm is not None:
-            op1 = to_unsigned(inst.imm)
-        elif Slot.OP1 in self.buffers:
-            op1 = self._value(Slot.OP1)
-        else:
-            op1 = 0
-        return Outcome(OutcomeKind.VALUE,
-                       value=evaluate_alu(inst.opcode, op0, op1))
+                           store_value=self._buf_value(self._op1_buf,
+                                                       Slot.OP1))
+        if kind == _PLAN_BRANCH:
+            return Outcome(OutcomeKind.BRANCH, value=branch_target)
+        return Outcome(OutcomeKind.VALUE,                 # MOVI
+                       value=imm_u if imm_u is not None
+                       else to_unsigned(self.inst.imm))
 
     # ------------------------------------------------------------------
     # Output side: suppression + commit rules
@@ -253,8 +397,31 @@ class InstructionNode:
             return False
         if self.issued_signature != self.current_signature():
             return False
-        for slot in (Slot.OP0, Slot.PRED):
-            buffer = self.buffers.get(slot)
-            if buffer is not None and not buffer.is_final():
+        for buffer in (self._op0_buf, self._pred_buf):
+            if buffer is not None and not buffer._final:
                 return False
         return True
+
+
+def build_node_template(index: int, inst: Instruction,
+                        slot_producers: Dict[Slot, List[ProducerKey]]):
+    """Precompute one instruction's node-construction data.
+
+    Runs the same validation as ``InstructionNode.__init__`` but once per
+    static block instead of once per frame; the producer-order dicts it
+    builds are shared (read-only) by every frame's buffers.
+    """
+    orders = []
+    for slot in inst.required_slots():
+        producers = slot_producers.get(slot)
+        if not producers:
+            raise SimulationError(
+                f"I{index} slot {slot.name} mapped with no producers")
+        orders.append((slot, slot._value_,
+                       {p: n for n, p in enumerate(producers)}))
+    # Signature order is ascending slot value; required_slots() already
+    # yields that order, the sort is belt-and-braces for exotic ISAs.
+    orders.sort(key=lambda t: t[1])
+    sig_slots = tuple(slot for slot, _, _ in orders)
+    return (index, inst, tuple((val, order) for _, val, order in orders),
+            _exec_plan(inst), ("inst", index), sig_slots)

@@ -56,7 +56,7 @@ class SlotStatus(enum.Enum):
     ALL_NULL = "all_null"    # every static producer declined
 
 
-@dataclass
+@dataclass(slots=True)
 class Token:
     """One operand delivery.
 

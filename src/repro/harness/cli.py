@@ -87,6 +87,13 @@ def main(argv: List[str] = None) -> int:
                              "(default: %(default)s)")
     parser.add_argument("--no-cache", action="store_true",
                         help="neither read nor write the result cache")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the hottest "
+                             "functions after the tables (forces --jobs 1 "
+                             "so simulation work stays in-process)")
+    parser.add_argument("--profile-top", type=int, default=25, metavar="N",
+                        help="rows of profile output with --profile "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
 
     if args.experiments[0] == "cache":
@@ -108,9 +115,15 @@ def main(argv: List[str] = None) -> int:
             return 2
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = ParallelRunner(jobs=args.jobs or os.cpu_count() or 1,
-                            cache=cache)
+    jobs = 1 if args.profile else (args.jobs or os.cpu_count() or 1)
+    runner = ParallelRunner(jobs=jobs, cache=cache)
     kernels = args.kernels.split(",") if args.kernels else None
+
+    profiler = None
+    if args.profile:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
 
     for name in wanted:
         start = time.time()
@@ -118,6 +131,14 @@ def main(argv: List[str] = None) -> int:
                        kernels=kernels))
         print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
     print(f"[sweep: {runner.summary()}]")
+
+    if profiler is not None:
+        import pstats
+        profiler.disable()
+        print()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("cumulative")
+        stats.print_stats(args.profile_top)
     return 0
 
 

@@ -68,6 +68,11 @@ class Block:
         self.instructions: List[Instruction] = list(instructions or [])
         self.limits = limits
         self._slot_producers: Optional[Dict[ConsumerKey, List[ProducerId]]] = None
+        #: Frame-construction template (see repro.uarch.frame); derived
+        #: state owned here so block mutation can invalidate it.
+        self._frame_template = None
+        #: LSQ registration template (see repro.uarch.lsq).
+        self._lsq_template = None
 
     # ------------------------------------------------------------------
     # Derived structure
@@ -132,6 +137,8 @@ class Block:
     def invalidate_caches(self) -> None:
         """Drop derived structures after mutating the block (builders only)."""
         self._slot_producers = None
+        self._frame_template = None
+        self._lsq_template = None
 
     # ------------------------------------------------------------------
     # Validation

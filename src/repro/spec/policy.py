@@ -49,9 +49,20 @@ class StoreView:
 
 
 class DependencePolicy:
-    """Decides load issue timing; trained on mis-speculations."""
+    """Decides load issue timing; trained on mis-speculations.
+
+    ``never_waits`` / ``waits_for_any_unresolved`` declare the two trivial
+    answer shapes so the LSQ can answer them from its incremental indexes
+    without materialising a store view; a policy setting either one must
+    keep :meth:`should_wait` consistent with the declared shape (it is
+    still what the naive reference implementation calls).
+    """
 
     name = "abstract"
+    #: should_wait is constantly False (no view needed at all).
+    never_waits = False
+    #: should_wait is exactly "any older in-flight store unresolved".
+    waits_for_any_unresolved = False
 
     def should_wait(self, load: LoadQuery,
                     older_stores: Iterable[StoreView]) -> bool:
@@ -67,6 +78,7 @@ class ConservativePolicy(DependencePolicy):
     """Loads wait for all older in-flight stores to resolve."""
 
     name = "conservative"
+    waits_for_any_unresolved = True
 
     def should_wait(self, load: LoadQuery,
                     older_stores: Iterable[StoreView]) -> bool:
@@ -77,6 +89,7 @@ class AggressivePolicy(DependencePolicy):
     """Loads never wait (DSRE's issue policy)."""
 
     name = "aggressive"
+    never_waits = True
 
     def should_wait(self, load: LoadQuery,
                     older_stores: Iterable[StoreView]) -> bool:

@@ -11,11 +11,43 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.buffers import SlotStatus, TokenBuffer
-from ..core.node import InstructionNode
+from ..core.node import InstructionNode, build_node_template
 from ..errors import SimulationError
 from ..isa.block import Block
 from ..isa.instruction import Slot
 from .config import MachineConfig
+
+
+def _build_frame_template(block: Block):
+    """Per-block construction template, validated once and reused.
+
+    Every dynamic frame of a block rebuilds identical producer-order maps
+    and index dicts; this captures them (all read-only) so frame mapping
+    is allocation of fresh mutable state only.  Cached on the block itself
+    (cleared by ``Block.invalidate_caches``).
+    """
+    producers = block.slot_producers
+    node_templates = []
+    for idx, inst in enumerate(block.instructions):
+        slot_map: Dict[Slot, list] = {}
+        for slot in inst.required_slots():
+            slot_map[slot] = producers.get(("inst", idx, slot), [])
+        node_templates.append(build_node_template(idx, inst, slot_map))
+    write_orders = []
+    for wi in range(len(block.writes)):
+        write_producers = producers[("write", wi, None)]
+        if not write_producers:
+            raise SimulationError("token buffer with no static producers")
+        write_orders.append({p: n for n, p in enumerate(write_producers)})
+    branch_producers = [("inst", i) for i in block.branch_indices]
+    if not branch_producers:
+        raise SimulationError("token buffer with no static producers")
+    branch_order = {p: n for n, p in enumerate(branch_producers)}
+    lsid_to_index = {inst.lsid: i for i, inst in enumerate(block.instructions)
+                     if inst.is_memory}
+    write_index_of_reg = {w.reg: wi for wi, w in enumerate(block.writes)}
+    return (tuple(node_templates), tuple(write_orders), branch_order,
+            lsid_to_index, write_index_of_reg)
 
 #: Where a frame's register read gets its value: the architectural file
 #: (with the value captured at map time) or an older in-flight frame's
@@ -43,17 +75,20 @@ class Frame:
         self.block = block
         self.config = config
 
-        producers = block.slot_producers
-        self.nodes: List[InstructionNode] = []
-        for idx, inst in enumerate(block.instructions):
-            slot_map: Dict[Slot, list] = {}
-            for slot in inst.required_slots():
-                slot_map[slot] = producers.get(("inst", idx, slot), [])
-            self.nodes.append(InstructionNode(uid, idx, inst, slot_map))
+        template = getattr(block, "_frame_template", None)
+        if template is None:
+            template = _build_frame_template(block)
+            block._frame_template = template
+        (node_templates, write_orders, branch_order,
+         lsid_to_index, write_index_of_reg) = template
+
+        self.nodes: List[InstructionNode] = [
+            InstructionNode.from_template(uid, idx, inst, orders, plan,
+                                          pkey, sig_slots)
+            for idx, inst, orders, plan, pkey, sig_slots in node_templates]
 
         self.write_buffers: List[TokenBuffer] = [
-            TokenBuffer(producers[("write", wi, None)])
-            for wi in range(len(block.writes))]
+            TokenBuffer.from_shared(order) for order in write_orders]
         #: Last (value, final) forwarded per write slot, and its wave.
         self.write_forwarded: List[Optional[Tuple[int, bool]]] = (
             [None] * len(block.writes))
@@ -61,18 +96,15 @@ class Frame:
         #: Younger frame uids subscribed to each write slot.
         self.subscribers: List[List[int]] = [[] for _ in block.writes]
 
-        branch_producers = [("inst", i) for i in block.branch_indices]
-        self.branch_buffer = TokenBuffer(branch_producers)
+        self.branch_buffer = TokenBuffer.from_shared(branch_order)
 
         self.read_sources: List[ReadSource] = []
         self.read_forwards: List[ReadForward] = [
             ReadForward() for _ in block.reads]
 
-        self.lsid_to_index: Dict[int, int] = {
-            inst.lsid: i for i, inst in enumerate(block.instructions)
-            if inst.is_memory}
-        self.write_index_of_reg: Dict[int, int] = {
-            w.reg: wi for wi, w in enumerate(block.writes)}
+        #: Shared, read-only index dicts from the block template.
+        self.lsid_to_index: Dict[int, int] = lsid_to_index
+        self.write_index_of_reg: Dict[int, int] = write_index_of_reg
 
         #: What the fetch engine predicted this block's successor to be.
         self.predicted_next: Optional[str] = None

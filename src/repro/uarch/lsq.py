@@ -17,13 +17,31 @@ sequential memory order.  It implements:
   is final and every older store is final, the LSQ either confirms the
   returned value (emitting the load's final token) or issues one last
   corrected re-delivery.
+
+Every ordering query runs against incrementally maintained indexes rather
+than a scan of all in-flight entries (see docs/PERFORMANCE.md):
+
+* ``_store_order``/``_store_keys``/``_store_views`` — all in-flight stores
+  in sequential memory order, with their policy views, sliced by bisection;
+* ``_store_buckets``/``_load_buckets`` — address-bucketed maps from
+  ``BUCKET_BYTES``-aligned regions to the resolved stores / addressed loads
+  touching them, so forwarding and dependence checks consult only
+  overlapping candidates;
+* ``_unresolved_keys``/``_blocking_keys`` — sorted key lists of stores that
+  can still make a load wait / gate a confirmation;
+* ``_deferred``/``_confirm_wait`` — the loads a store event may wake.
+
+:class:`~repro.uarch.lsq_naive.NaiveLoadStoreQueue` overrides the query
+hooks with the original full scans; the property tests in
+``tests/test_lsq_index.py`` assert both produce identical action streams.
 """
 
 from __future__ import annotations
 
 import enum
+from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..arch.memory import SparseMemory
 from ..errors import SimulationError
@@ -37,7 +55,7 @@ class MemKind(enum.Enum):
     STORE = "store"
 
 
-@dataclass
+@dataclass(slots=True)
 class MemEntry:
     """One in-flight memory operation."""
 
@@ -98,7 +116,7 @@ class MemEntry:
 
 # --- Actions the LSQ hands back to the processor -----------------------
 
-@dataclass
+@dataclass(slots=True)
 class LoadResponse:
     """Deliver a value to a load node after ``latency`` cycles."""
 
@@ -109,7 +127,7 @@ class LoadResponse:
     is_redelivery: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class Violation:
     """Flush-mode mis-speculation: recovery must restart at ``load.seq``."""
 
@@ -117,7 +135,7 @@ class Violation:
     store: MemEntry
 
 
-@dataclass
+@dataclass(slots=True)
 class Confirmed:
     """A load's returned value was confirmed; emit its final token."""
 
@@ -129,7 +147,7 @@ class Confirmed:
 LsqAction = object  # LoadResponse | Violation | Confirmed
 
 
-@dataclass
+@dataclass(slots=True)
 class LsqStats:
     loads_issued: int = 0
     loads_deferred: int = 0
@@ -141,6 +159,15 @@ class LsqStats:
     final_redeliveries: int = 0
     confirmations: int = 0
     trainings: int = 0
+
+
+#: Address-bucket granularity.  A memory operation of width ``w`` spans at
+#: most ``w // BUCKET_BYTES + 1`` buckets, so with 8-byte operations every
+#: index update and overlap query touches at most two buckets.
+BUCKET_SHIFT = 4
+BUCKET_BYTES = 1 << BUCKET_SHIFT
+
+_WORD_SPACE = 1 << 64
 
 
 class LoadStoreQueue:
@@ -165,9 +192,37 @@ class LoadStoreQueue:
         #: store->load violation would re-trigger identically forever).
         self._poisoned: set = set()
         self.stats = LsqStats()
-        #: frame uid -> lsid -> entry; frames kept in seq order.
+        #: frame uid -> lsid -> entry; frames kept in seq order, entries in
+        #: LSID order (dict insertion order — built sorted at registration).
         self._frames: Dict[int, Dict[int, MemEntry]] = {}
         self._frame_order: List[int] = []
+
+        # --- Incremental indexes (see module docstring) ----------------
+        #: Flattened (seq, lsid)-ordered entry list; None when stale.
+        self._flat_cache: Optional[List[MemEntry]] = None
+        #: All in-flight stores in order, with parallel key/view lists.
+        self._store_order: List[MemEntry] = []
+        self._store_keys: List[Tuple[int, int]] = []
+        self._store_views: List[StoreView] = []
+        self._store_by_key: Dict[Tuple[int, int], MemEntry] = {}
+        #: Sorted keys of stores that are not yet resolved / that still
+        #: gate load confirmation.
+        self._unresolved_keys: List[Tuple[int, int]] = []
+        self._blocking_keys: List[Tuple[int, int]] = []
+        #: Address bucket -> entries whose current range touches it.
+        self._store_buckets: Dict[int, List[MemEntry]] = {}
+        self._load_buckets: Dict[int, List[MemEntry]] = {}
+        #: Currently indexed (addr, width) span per entry key.
+        self._store_span: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._load_span: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        #: Loads a store event may wake: deferred, and (under DSRE)
+        #: issued-but-unconfirmed loads whose address is final.
+        self._deferred: Dict[Tuple[int, int], MemEntry] = {}
+        self._confirm_wait: Dict[Tuple[int, int], MemEntry] = {}
+        #: Per-frame lsids not yet ``complete_for_commit`` — kept in sync
+        #: by the same hooks that maintain the other indexes, so
+        #: ``frame_mem_final`` is an emptiness check instead of a scan.
+        self._incomplete: Dict[int, set] = {}
 
     # ------------------------------------------------------------------
     # Frame lifecycle
@@ -179,19 +234,67 @@ class LoadStoreQueue:
             last_seq = next(iter(last.values())).seq if last else -1
             if last and seq <= last_seq:
                 raise SimulationError("frames must register in seq order")
+        # (lsid, kind, static_id, width) in LSID order is static per
+        # block; compute once and cache on the block (cleared alongside
+        # its other derived structures by ``invalidate_caches``).
+        template = getattr(block, "_lsq_template", None)
+        if template is None:
+            mem_insts = sorted((inst for inst in block.instructions
+                                if inst.is_memory), key=lambda i: i.lsid)
+            template = tuple(
+                (inst.lsid,
+                 MemKind.LOAD if inst.is_load else MemKind.STORE,
+                 (block.name, inst.lsid), inst.width)
+                for inst in mem_insts)
+            block._lsq_template = template
         entries: Dict[int, MemEntry] = {}
-        for inst in block.instructions:
-            if inst.is_memory:
-                kind = MemKind.LOAD if inst.is_load else MemKind.STORE
-                entries[inst.lsid] = MemEntry(
-                    frame_uid, seq, inst.lsid, kind,
-                    (block.name, inst.lsid), inst.width)
+        for lsid, kind, static_id, width in template:
+            entry = MemEntry(frame_uid, seq, lsid, kind, static_id, width)
+            entries[lsid] = entry
+            if kind is MemKind.STORE:
+                # Frames register in seq order and entries in LSID order,
+                # so plain appends keep every store list sorted.
+                key = entry.order_key
+                self._store_order.append(entry)
+                self._store_keys.append(key)
+                self._store_views.append(StoreView(
+                    entry.static_id, entry.seq, entry.lsid, False))
+                self._store_by_key[key] = entry
+                self._unresolved_keys.append(key)
+                self._blocking_keys.append(key)
         self._frames[frame_uid] = entries
         self._frame_order.append(frame_uid)
+        # Fresh entries are never complete (stores lack addresses, loads
+        # are unissued and unconfirmed).
+        self._incomplete[frame_uid] = set(entries)
+        self._flat_cache = None
 
     def drop_frame(self, frame_uid: int) -> None:
-        self._frames.pop(frame_uid, None)
-        self._frame_order = [u for u in self._frame_order if u != frame_uid]
+        entries = self._frames.pop(frame_uid, None)
+        if entries is None:
+            return
+        self._frame_order.remove(frame_uid)
+        self._incomplete.pop(frame_uid, None)
+        self._flat_cache = None
+        for entry in entries.values():
+            key = entry.order_key
+            if entry.kind is MemKind.STORE:
+                index = bisect_left(self._store_keys, key)
+                del self._store_order[index]
+                del self._store_keys[index]
+                del self._store_views[index]
+                del self._store_by_key[key]
+                self._discard_sorted(self._unresolved_keys, key)
+                self._discard_sorted(self._blocking_keys, key)
+                span = self._store_span.pop(key, None)
+                if span is not None:
+                    self._unbucket(self._store_buckets, entry, span)
+            else:
+                self._deferred.pop(key, None)
+                self._confirm_wait.pop(key, None)
+                span = self._load_span.pop(key, None)
+                if span is not None:
+                    self._unbucket(self._load_buckets, entry, span)
 
     def commit_frame(self, frame_uid: int) -> List[Tuple[int, int, int]]:
         """Remove the (oldest) frame; return its stores as (addr, value,
@@ -200,12 +303,11 @@ class LoadStoreQueue:
             raise SimulationError("only the oldest frame may commit")
         entries = self._frames[frame_uid]
         stores = []
-        for lsid in sorted(entries):
-            e = entries[lsid]
+        for e in entries.values():           # LSID order by construction
             if not e.complete_for_commit(self.require_confirm):
                 raise SimulationError(
                     f"commit of frame {frame_uid} with incomplete "
-                    f"lsid {lsid}")
+                    f"lsid {e.lsid}")
             if e.kind is MemKind.STORE and not e.null:
                 stores.append((e.addr, e.value, e.width))
         committed_seq = next(iter(entries.values())).seq if entries else 0
@@ -215,11 +317,7 @@ class LoadStoreQueue:
         return stores
 
     def frame_mem_final(self, frame_uid: int) -> bool:
-        entries = self._frames.get(frame_uid)
-        if entries is None:
-            return True
-        return all(e.complete_for_commit(self.require_confirm)
-                   for e in entries.values())
+        return not self._incomplete.get(frame_uid)
 
     # ------------------------------------------------------------------
     # Entry access helpers
@@ -229,15 +327,15 @@ class LoadStoreQueue:
         return self._frames[frame_uid][lsid]
 
     def _all_entries(self) -> Iterable[MemEntry]:
-        for uid in self._frame_order:
-            entries = self._frames[uid]
-            for lsid in sorted(entries):
-                yield entries[lsid]
+        if self._flat_cache is None:
+            self._flat_cache = [entry
+                                for uid in self._frame_order
+                                for entry in self._frames[uid].values()]
+        return self._flat_cache
 
     def _stores_older_than(self, key: Tuple[int, int],
                            newest_first: bool = True) -> List[MemEntry]:
-        stores = [e for e in self._all_entries()
-                  if e.kind is MemKind.STORE and e.order_key < key]
+        stores = self._store_order[:bisect_left(self._store_keys, key)]
         if newest_first:
             stores.reverse()
         return stores
@@ -247,6 +345,175 @@ class LoadStoreQueue:
         return [e for e in self._all_entries()
                 if e.kind is MemKind.LOAD and e.order_key > key
                 and e.issued and not e.null]
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _buckets_of(addr: int, width: int) -> range:
+        return range(addr >> BUCKET_SHIFT,
+                     ((addr + max(width, 1) - 1) >> BUCKET_SHIFT) + 1)
+
+    def _unbucket(self, buckets: Dict[int, List[MemEntry]],
+                  entry: MemEntry, span: Tuple[int, int]) -> None:
+        for b in self._buckets_of(*span):
+            bucket = buckets.get(b)
+            if bucket is None:
+                continue
+            for i, resident in enumerate(bucket):
+                if resident is entry:
+                    del bucket[i]
+                    break
+            if not bucket:
+                del buckets[b]
+
+    def _enbucket(self, buckets: Dict[int, List[MemEntry]],
+                  entry: MemEntry, span: Tuple[int, int]) -> None:
+        for b in self._buckets_of(*span):
+            buckets.setdefault(b, []).append(entry)
+
+    @staticmethod
+    def _discard_sorted(keys: List[Tuple[int, int]],
+                        key: Tuple[int, int]) -> None:
+        index = bisect_left(keys, key)
+        if index < len(keys) and keys[index] == key:
+            del keys[index]
+
+    @staticmethod
+    def _set_sorted_membership(keys: List[Tuple[int, int]],
+                               key: Tuple[int, int], present: bool) -> None:
+        index = bisect_left(keys, key)
+        found = index < len(keys) and keys[index] == key
+        if present and not found:
+            keys.insert(index, key)
+        elif found and not present:
+            del keys[index]
+
+    def _reindex_store(self, entry: MemEntry) -> None:
+        """Sync the store's bucket span, view, and gating-list membership."""
+        key = entry.order_key
+        span = ((entry.addr, entry.width)
+                if not entry.null and entry.addr is not None else None)
+        old = self._store_span.get(key)
+        if span != old:
+            if old is not None:
+                self._unbucket(self._store_buckets, entry, old)
+            if span is not None:
+                self._enbucket(self._store_buckets, entry, span)
+                self._store_span[key] = span
+            else:
+                self._store_span.pop(key, None)
+        resolved = entry.store_resolved
+        self._set_sorted_membership(self._unresolved_keys, key, not resolved)
+        blocking = not ((entry.null and entry.final)
+                        or (entry.final and resolved))
+        self._set_sorted_membership(self._blocking_keys, key, blocking)
+        index = bisect_left(self._store_keys, key)
+        if self._store_views[index].resolved != resolved:
+            self._store_views[index] = StoreView(
+                entry.static_id, entry.seq, entry.lsid, resolved)
+        self._track_commit(entry)
+
+    def _reindex_load(self, entry: MemEntry) -> None:
+        """Sync the load's bucket span with its current address."""
+        key = entry.order_key
+        span = ((entry.addr, entry.width)
+                if entry.addr is not None else None)
+        old = self._load_span.get(key)
+        if span == old:
+            return
+        if old is not None:
+            self._unbucket(self._load_buckets, entry, old)
+        if span is not None:
+            self._enbucket(self._load_buckets, entry, span)
+            self._load_span[key] = span
+        else:
+            self._load_span.pop(key, None)
+
+    def _track_load(self, entry: MemEntry) -> None:
+        """Sync the load's membership in the wake-candidate sets."""
+        key = entry.order_key
+        if entry.deferred:
+            self._deferred[key] = entry
+        else:
+            self._deferred.pop(key, None)
+        if (self.require_confirm and entry.issued and entry.final
+                and not entry.confirmed and not entry.null):
+            self._confirm_wait[key] = entry
+        else:
+            self._confirm_wait.pop(key, None)
+        self._track_commit(entry)
+
+    def _track_commit(self, entry: MemEntry) -> None:
+        """Sync the entry's membership in its frame's incomplete set."""
+        incomplete = self._incomplete.get(entry.frame_uid)
+        if incomplete is None:
+            return
+        if entry.complete_for_commit(self.require_confirm):
+            incomplete.discard(entry.lsid)
+        else:
+            incomplete.add(entry.lsid)
+
+    # ------------------------------------------------------------------
+    # Ordering queries (overridden by the naive reference implementation)
+    # ------------------------------------------------------------------
+
+    def _forwarding_stores(self, load: MemEntry) -> List[MemEntry]:
+        """Resolved non-null stores older than the load that may supply
+        bytes, newest first."""
+        addr, width = load.addr, load.width
+        key = load.order_key
+        out: List[MemEntry] = []
+        seen: set = set()
+        for b in self._buckets_of(addr, width):
+            for store in self._store_buckets.get(b, ()):
+                skey = store.order_key
+                if skey >= key or skey in seen:
+                    continue
+                if store.addr < addr + width and addr < store.addr + store.width:
+                    seen.add(skey)
+                    out.append(store)
+        out.sort(key=lambda s: s.order_key, reverse=True)
+        return out
+
+    def _policy_view(self, load: MemEntry) -> Sequence[StoreView]:
+        return self._store_views[:bisect_left(self._store_keys,
+                                              load.order_key)]
+
+    def _any_unresolved_older(self, key: Tuple[int, int]) -> bool:
+        return bool(self._unresolved_keys) and self._unresolved_keys[0] < key
+
+    def _recheck_candidates(self, store: MemEntry, old_addr: Optional[int],
+                            old_width: int) -> List[MemEntry]:
+        """Issued loads younger than the store that may touch its old or
+        new range, oldest first."""
+        found: Dict[Tuple[int, int], MemEntry] = {}
+        key = store.order_key
+        for addr, width in ((store.addr, store.width),
+                            (old_addr, old_width)):
+            if addr is None or width <= 0:
+                continue
+            for b in self._buckets_of(addr, width):
+                for load in self._load_buckets.get(b, ()):
+                    if (load.order_key > key and load.issued
+                            and not load.null):
+                        found[load.order_key] = load
+        return [found[k] for k in sorted(found)]
+
+    def _wake_candidates(self, store: MemEntry) -> List[MemEntry]:
+        """Loads younger than the store that a store event may unblock:
+        deferred loads and (under DSRE) unconfirmed issued loads."""
+        key = store.order_key
+        keys = {k for k in self._deferred if k > key}
+        keys.update(k for k in self._confirm_wait if k > key)
+        return [self._deferred.get(k) or self._confirm_wait[k]
+                for k in sorted(keys)]
+
+    def _confirm_gate_stores(self, load: MemEntry) -> List[MemEntry]:
+        """Stores older than the load that may still gate confirmation."""
+        index = bisect_left(self._blocking_keys, load.order_key)
+        return [self._store_by_key[k] for k in self._blocking_keys[:index]]
 
     # ------------------------------------------------------------------
     # Value assembly
@@ -261,14 +528,37 @@ class LoadStoreQueue:
         where ``youngest_store`` is the youngest store contributing a byte.
         """
         assert load.addr is not None
-        stores = [s for s in self._stores_older_than(load.order_key)
-                  if not s.null and s.addr is not None]
+        if load.addr + load.width > _WORD_SPACE:
+            # Byte addresses wrap at 2**64 in the assembly loop, so range
+            # comparisons (and the fast paths built on them) do not apply;
+            # merge byte-wise over the full candidate list instead.
+            return self._assemble_bytes(
+                load, [s for s in self._stores_older_than(load.order_key)
+                       if not s.null and s.addr is not None])
+        stores = self._forwarding_stores(load)
+        if not stores:
+            # No overlapping store: the whole value comes from memory.
+            return (self.memory.read_int(load.addr, load.width),
+                    False, False, None)
+        youngest = stores[0]
+        if (youngest.addr <= load.addr and load.addr + load.width
+                <= youngest.addr + youngest.width):
+            # Full-width forward from the youngest overlapping store — the
+            # dominant case — extracted in one shift instead of per byte.
+            value = (youngest.value >> (8 * (load.addr - youngest.addr))) \
+                & ((1 << (8 * load.width)) - 1)
+            return value, True, True, youngest
+        return self._assemble_bytes(load, stores)
+
+    def _assemble_bytes(self, load: MemEntry, stores: List[MemEntry]
+                        ) -> Tuple[int, bool, bool, Optional[MemEntry]]:
+        """General byte-merge over a newest-first store candidate list."""
         data = bytearray()
         fully = True
         any_fwd = False
         youngest: Optional[MemEntry] = None
         for offset in range(load.width):
-            byte_addr = (load.addr + offset) & ((1 << 64) - 1)
+            byte_addr = (load.addr + offset) & (_WORD_SPACE - 1)
             byte = None
             for store in stores:           # newest first
                 if store.addr <= byte_addr < store.addr + store.width:
@@ -288,11 +578,6 @@ class LoadStoreQueue:
     # Load path
     # ------------------------------------------------------------------
 
-    def _policy_view(self, load: MemEntry) -> List[StoreView]:
-        return [StoreView(s.static_id, s.seq, s.lsid, s.store_resolved)
-                for s in self._stores_older_than(load.order_key,
-                                                 newest_first=False)]
-
     def _load_query(self, load: MemEntry) -> LoadQuery:
         return LoadQuery(load.static_id, load.seq, load.lsid,
                          load.addr, load.width)
@@ -311,10 +596,13 @@ class LoadStoreQueue:
         if addr_changed:
             entry.confirmed = False
         entry.addr = addr
+        self._reindex_load(entry)
+        self._track_load(entry)
         if entry.issued and not addr_changed:
             return self._maybe_confirm(entry)
         if self._must_wait(entry):
             entry.deferred = True
+            self._track_load(entry)
             self.stats.loads_deferred += 1
             return []
         return self._issue_load(entry)
@@ -324,15 +612,20 @@ class LoadStoreQueue:
         self._poisoned.add((seq, static_id))
 
     def _must_wait(self, entry: MemEntry) -> bool:
-        if self.policy.should_wait(self._load_query(entry),
-                                   self._policy_view(entry)):
+        policy = self.policy
+        if policy.never_waits:
+            pass                      # aggressive: skip the view entirely
+        elif policy.waits_for_any_unresolved:
+            if self._any_unresolved_older(entry.order_key):
+                return True
+        elif policy.should_wait(self._load_query(entry),
+                                self._policy_view(entry)):
             return True
         if (entry.seq, entry.static_id) in self._poisoned:
             # The wait bit persists until the instance commits: the frame
             # may be re-squashed by an unrelated violation, and the
             # refetched instance must keep waiting too.
-            return any(not s.store_resolved
-                       for s in self._stores_older_than(entry.order_key))
+            return self._any_unresolved_older(entry.order_key)
         return False
 
     def _compute_load(self, entry: MemEntry) -> Tuple[int, int]:
@@ -360,6 +653,7 @@ class LoadStoreQueue:
         entry.issued = True
         changed = entry.returned_value != value
         entry.returned_value = value
+        self._track_load(entry)
         if first_issue:
             self.stats.loads_issued += 1
         actions: List[LsqAction] = []
@@ -386,12 +680,14 @@ class LoadStoreQueue:
         entry.final = final
         entry.deferred = False
         entry.confirmed = False
+        self._track_load(entry)
         return []
 
     def load_addr_final(self, frame_uid: int, lsid: int) -> List[LsqAction]:
         """The load's address operands are final (commit wave reached it)."""
         entry = self.entry(frame_uid, lsid)
         entry.final = True
+        self._track_load(entry)
         if entry.deferred:
             # A final address cannot be deferred forever; re-poll now.
             return self._poll_deferred_one(entry)
@@ -420,6 +716,7 @@ class LoadStoreQueue:
             entry.final = entry.final or final
             entry.addr_final = entry.addr_final or addr_final
             if upgraded:
+                self._reindex_store(entry)
                 return self._after_store_event(entry)
             return []
         old_addr, old_width = entry.addr, entry.width
@@ -433,6 +730,7 @@ class LoadStoreQueue:
             entry.value = None
         else:
             entry.value = value & ((1 << (8 * entry.width)) - 1)
+        self._reindex_store(entry)
         actions: List[LsqAction] = []
         unchanged = (old_null == null and old_addr == entry.addr
                      and old_value == entry.value)
@@ -452,7 +750,7 @@ class LoadStoreQueue:
                        old_width: int) -> List[LsqAction]:
         """Value-based dependence check of younger issued loads."""
         actions: List[LsqAction] = []
-        for load in self._issued_loads_younger_than(store.order_key):
+        for load in self._recheck_candidates(store, old_addr, old_width):
             touches_new = self._ranges_overlap(load, store.addr, store.width)
             touches_old = self._ranges_overlap(load, old_addr, old_width)
             if not (touches_new or touches_old):
@@ -472,11 +770,7 @@ class LoadStoreQueue:
     def _after_store_event(self, store: MemEntry) -> List[LsqAction]:
         """Wake deferred loads and retry confirmations after a store event."""
         actions: List[LsqAction] = []
-        for load in list(self._all_entries()):
-            if load.kind is not MemKind.LOAD:
-                continue
-            if load.order_key <= store.order_key:
-                continue
+        for load in self._wake_candidates(store):
             if load.deferred:
                 actions.extend(self._poll_deferred_one(load))
             elif load.issued and not load.confirmed:
@@ -493,7 +787,7 @@ class LoadStoreQueue:
         if (entry.confirmed or entry.null or not entry.issued
                 or not entry.final):
             return []
-        for store in self._stores_older_than(entry.order_key):
+        for store in self._confirm_gate_stores(entry):
             if store.null:
                 if not store.final:
                     return []
@@ -509,6 +803,7 @@ class LoadStoreQueue:
             return []
         correct, _, _, _ = self.speculative_value(entry)
         entry.confirmed = True
+        self._track_load(entry)
         # The confirmation may never reach the node before the issued
         # response does — that would be a free cache bypass.
         pending = max(0, entry.value_ready_at - self.now)

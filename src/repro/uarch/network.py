@@ -26,7 +26,7 @@ class MsgKind(enum.Enum):
     REG_FWD = "reg_fwd"        # cross-frame register forward -> control tile
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     kind: MsgKind
     dest: Coord
@@ -35,7 +35,7 @@ class Message:
     final: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     sent: int = 0
     delivered: int = 0
@@ -59,11 +59,23 @@ class OperandNetwork:
         self.now = 0
         self._heap: List[Tuple[int, int, Message]] = []
         self._seq = 0
-        self._port_use: Dict[Tuple[Coord, int], int] = {}
+        #: Per-destination deliveries in the cycle ``_port_cycle``; only
+        #: the current cycle's counters exist — they are expired wholesale
+        #: whenever ``deliver_due`` observes a new ``now``.
+        self._port_use: Dict[Coord, int] = {}
+        self._port_cycle = -1
+        #: (src, dest) -> routed latency; the coordinate set is tiny and
+        #: static, so this saturates almost immediately.
+        self._route_cache: Dict[Tuple[Coord, Coord], int] = {}
 
     def send(self, src: Coord, msg: Message, extra_latency: int = 0) -> None:
         """Inject a message at the current cycle."""
-        latency = self.config.route_latency(src, msg.dest) + extra_latency
+        key = (src, msg.dest)
+        routed = self._route_cache.get(key)
+        if routed is None:
+            routed = self.config.route_latency(src, msg.dest)
+            self._route_cache[key] = routed
+        latency = routed + extra_latency
         arrive = self.now + max(1, latency)
         self.stats.sent += 1
         if msg.final:
@@ -74,26 +86,28 @@ class OperandNetwork:
     def deliver_due(self, now: int) -> List[Message]:
         """Pop all messages that arrive at cycle ``now`` (respecting ports)."""
         self.now = now
+        if now != self._port_cycle:
+            # Past-cycle counters can never be consulted again; expire
+            # them in bulk instead of sweeping a growing dict.
+            self._port_use.clear()
+            self._port_cycle = now
         out: List[Message] = []
         requeue: List[Tuple[int, int, Message]] = []
+        bandwidth = self.config.port_bandwidth
+        port_use = self._port_use
         while self._heap and self._heap[0][0] <= now:
             arrive, seq, msg = heapq.heappop(self._heap)
-            key = (msg.dest, now)
-            used = self._port_use.get(key, 0)
-            if used >= self.config.port_bandwidth:
+            used = port_use.get(msg.dest, 0)
+            if used >= bandwidth:
                 self.stats.contention_slips += 1
                 requeue.append((now + 1, seq, msg))
                 continue
-            self._port_use[key] = used + 1
+            port_use[msg.dest] = used + 1
             self.stats.delivered += 1
             self.stats.total_latency += now - (arrive - 1)
             out.append(msg)
         for item in requeue:
             heapq.heappush(self._heap, item)
-        # Old port counters are dead weight; prune opportunistically.
-        if len(self._port_use) > 4096:
-            self._port_use = {k: v for k, v in self._port_use.items()
-                              if k[1] >= now}
         return out
 
     def next_event_cycle(self) -> Optional[int]:

@@ -17,6 +17,7 @@ state is compared block-by-block against the functional golden model when
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -25,7 +26,8 @@ from ..arch.interp import run_program
 from ..arch.state import ArchState
 from ..arch.trace import ExecutionTrace
 from ..core.node import InstructionNode, NodeState, Outcome, OutcomeKind
-from ..core.tokens import BRANCH_DEST, Token, inst_dest, write_dest
+from ..core.tokens import (BRANCH_DEST, SlotStatus, Token, inst_dest,
+                           write_dest)
 from ..errors import GoldenMismatchError, SimulationError
 from ..isa.instruction import Target, TargetKind
 from ..isa.program import HALT_LABEL, Program
@@ -40,7 +42,7 @@ from .predictor import build_predictor
 from .tile import ExecTile
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadReqPayload:
     frame_uid: int
     lsid: int
@@ -49,7 +51,7 @@ class LoadReqPayload:
     final: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreUpdPayload:
     frame_uid: int
     lsid: int
@@ -61,7 +63,7 @@ class StoreUpdPayload:
     addr_final: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadRespPayload:
     frame_uid: int
     inst_index: int
@@ -70,7 +72,7 @@ class LoadRespPayload:
     is_redelivery: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class RegFwdPayload:
     frame_uid: int
     read_index: int
@@ -155,6 +157,10 @@ class Processor:
         self.tiles = [ExecTile(i, self.config.tile_coord(i),
                                self.config.issue_width_per_tile)
                       for i in range(self.config.n_tiles)]
+        #: Tiles holding ready or executing nodes — the only ones the main
+        #: loop ticks or polls.  A tile enters on enqueue and leaves when
+        #: observed drained; a drained tile cannot schedule work by itself.
+        self._active_tiles: set = set()
 
         self.frames: List[Frame] = []            # oldest first
         self.frames_by_uid: Dict[int, Frame] = {}
@@ -169,71 +175,122 @@ class Processor:
         self.last_commit_cycle = 0
         self.done = False
         self.stats = SimStats()
+        # Hot-path lookup tables: the static instruction-index -> tile
+        # coordinate map, the control/LSQ coordinates (the config exposes
+        # them as properties, which rebuild tuples per access), per-opcode
+        # FU latency, and per-instruction token destination plans.
+        self._inst_tile = [self.config.tile_of_instruction(i)
+                           for i in range(128)]
+        self._inst_coord = [self.config.tile_coord(t)
+                            for t in self._inst_tile]
+        self._control_coord = self.config.control_coord
+        self._lsq_coord = self.config.lsq_coord
+        self._op_latency: Dict = {}
+        self._target_plans: Dict[int, Tuple] = {}
+        #: Recovery-mode flag, read on every node event and commit poll.
+        self._recovery_dsre = self.config.recovery == "dsre"
+        #: Next-event cycle computed by the previous ``_check_progress``;
+        #: consumed (and cleared) by the next ``_advance_cycle`` so the
+        #: scan runs once per loop iteration, not twice.
+        self._next_event_memo: Optional[int] = None
 
     # ==================================================================
     # Main loop
     # ==================================================================
 
     def run(self) -> SimResult:
-        """Simulate until the program halts; returns the result bundle."""
+        """Simulate until the program halts; returns the result bundle.
+
+        The per-cycle sequence (advance to the next event cycle, deliver,
+        tick tiles / fetch / commit, check progress) is written out inline:
+        on serial kernels the loop body runs once per simulated cycle and
+        the call overhead of the phase helpers is measurable.
+        """
+        config = self.config
+        max_cycles = config.max_cycles
+        watchdog = config.watchdog_cycles
+        lsq = self.lsq
         while not self.done:
-            self._advance_cycle()
-            self.lsq.now = self.cycle
+            # Advance to the next event cycle.  Nothing runs between the
+            # previous iteration's memoized scan and this point, so the
+            # memo is still exact; only the first iteration (no memo yet)
+            # computes it here.
+            nxt = self._next_event_memo
+            self._next_event_memo = None
+            if nxt is None:
+                nxt = self._next_event_cycle()
+            cycle = self.cycle
+            cycle = nxt if (nxt is not None and nxt > cycle + 1) \
+                else cycle + 1
+            self.cycle = cycle
+            lsq.now = cycle
             self._deliver_messages()
-            self._tick_tiles()
-            self._tick_fetch()
-            self._tick_commit()
-            self._check_progress()
+            if self._active_tiles:
+                self._tick_tiles()
+            inflight = self.fetch_inflight
+            if inflight is None or cycle >= inflight[1]:
+                self._tick_fetch()
+            if self.frames and self.cycle >= self.commit_ready_cycle:
+                self._tick_commit()
+            # Progress check (watchdog + next-event memo for the advance
+            # at the top of the next iteration).
+            cycle = self.cycle
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={max_cycles}")
+            if cycle - self.last_commit_cycle > watchdog:
+                raise SimulationError(
+                    f"no commit for {watchdog} cycles; "
+                    f"likely deadlock\n{self._debug_dump()}")
+            if self.done:
+                break
+            if (not self.frames and self.fetch_inflight is None
+                    and self.fetch_target == HALT_LABEL):
+                self.done = True
+                break
+            nxt = self._next_event_cycle()
+            self._next_event_memo = nxt
+            if nxt is None:
+                raise SimulationError(
+                    f"no pending events but not halted\n{self._debug_dump()}")
         self.stats.cycles = self.cycle
         return SimResult(self.stats, self.config, self.arch,
                          self.lsq.stats, self.network.stats,
                          self.dcache.stats, self.predictor.stats,
                          halted=True)
 
-    def _advance_cycle(self) -> None:
-        nxt = self._next_event_cycle()
-        if nxt is not None and nxt > self.cycle + 1:
-            self.cycle = nxt
-        else:
-            self.cycle += 1
-
     def _next_event_cycle(self) -> Optional[int]:
-        candidates: List[int] = []
-        net = self.network.next_event_cycle()
-        if net is not None:
-            candidates.append(net)
-        for tile in self.tiles:
-            if tile.has_ready:
+        # ``cycle + 1`` is the earliest any event can be, so the ready-tile
+        # and fetch checks may return immediately; the rest tracks the
+        # minimum inline (no list build — this runs every iteration).
+        best: Optional[int] = None
+        tiles = self.tiles
+        for index in self._active_tiles:
+            tile = tiles[index]
+            if tile._ready:
                 return self.cycle + 1
-            completion = tile.next_completion()
-            if completion is not None:
-                candidates.append(completion)
+            executing = tile._executing
+            if executing:
+                completion = executing[0][0]
+                if best is None or completion < best:
+                    best = completion
         if self.fetch_inflight is not None:
             if len(self.frames) < self.config.max_frames:
-                candidates.append(self.fetch_inflight[1])
+                arrival = self.fetch_inflight[1]
+                if best is None or arrival < best:
+                    best = arrival
         elif self.fetch_target != HALT_LABEL \
                 and len(self.frames) < self.config.max_frames:
             return self.cycle + 1
+        heap = self.network._heap
+        if heap:
+            net = heap[0][0]
+            if best is None or net < best:
+                best = net
         if self.frames and self.commit_ready_cycle > self.cycle:
-            candidates.append(self.commit_ready_cycle)
-        return min(candidates) if candidates else None
-
-    def _check_progress(self) -> None:
-        if self.cycle > self.config.max_cycles:
-            raise SimulationError(
-                f"exceeded max_cycles={self.config.max_cycles}")
-        if self.cycle - self.last_commit_cycle > self.config.watchdog_cycles:
-            raise SimulationError(
-                f"no commit for {self.config.watchdog_cycles} cycles; "
-                f"likely deadlock\n{self._debug_dump()}")
-        if self.done:
-            return
-        if (not self.frames and self.fetch_inflight is None
-                and self.fetch_target == HALT_LABEL):
-            self.done = True
-        if (self._next_event_cycle() is None and not self.done):
-            raise SimulationError(
-                f"no pending events but not halted\n{self._debug_dump()}")
+            if best is None or self.commit_ready_cycle < best:
+                best = self.commit_ready_cycle
+        return best
 
     def _debug_dump(self) -> str:
         lines = [f"cycle={self.cycle} frames={len(self.frames)} "
@@ -258,16 +315,55 @@ class Processor:
     # ==================================================================
 
     def _deliver_messages(self) -> None:
-        for msg in self.network.deliver_due(self.cycle):
-            if msg.kind is MsgKind.TOKEN:
+        """Pop and handle this cycle's arrivals.
+
+        This replicates ``OperandNetwork.deliver_due`` inline, dispatching
+        each message as it pops instead of building a list first.  That is
+        equivalent: handlers only ever *send* (arrivals land at
+        ``now + 1`` or later, so they cannot join this sweep), handler
+        execution order equals delivery order either way, and requeued
+        contention slips target ``now + 1`` so pushing them mid-sweep
+        cannot re-pop them.
+        """
+        now = self.cycle
+        network = self.network
+        network.now = now
+        heap = network._heap
+        if not heap or heap[0][0] > now:
+            return
+        if now != network._port_cycle:
+            network._port_use.clear()
+            network._port_cycle = now
+        stats = network.stats
+        bandwidth = self.config.port_bandwidth
+        port_use = network._port_use
+        pop = heapq.heappop
+        push = heapq.heappush
+        token_kind = MsgKind.TOKEN
+        load_req_kind = MsgKind.LOAD_REQ
+        store_upd_kind = MsgKind.STORE_UPD
+        load_resp_kind = MsgKind.LOAD_RESP
+        while heap and heap[0][0] <= now:
+            arrive, seq, msg = pop(heap)
+            dest = msg.dest
+            used = port_use.get(dest, 0)
+            if used >= bandwidth:
+                stats.contention_slips += 1
+                push(heap, (now + 1, seq, msg))
+                continue
+            port_use[dest] = used + 1
+            stats.delivered += 1
+            stats.total_latency += now - (arrive - 1)
+            kind = msg.kind
+            if kind is token_kind:
                 self._deliver_token(msg.payload)
-            elif msg.kind is MsgKind.LOAD_REQ:
+            elif kind is load_req_kind:
                 self._deliver_load_req(msg.payload)
-            elif msg.kind is MsgKind.STORE_UPD:
+            elif kind is store_upd_kind:
                 self._deliver_store_upd(msg.payload)
-            elif msg.kind is MsgKind.LOAD_RESP:
+            elif kind is load_resp_kind:
                 self._deliver_load_resp(msg.payload)
-            elif msg.kind is MsgKind.REG_FWD:
+            else:
                 self._deliver_reg_fwd(msg.payload)
 
     def _deliver_token(self, token: Token) -> None:
@@ -276,8 +372,17 @@ class Processor:
             return
         kind = token.dest[0]
         if kind == "inst":
+            # Inline ``InstructionNode.deposit`` (slot lookup + signature
+            # cache clear): one call per operand token adds up.
             node = frame.nodes[token.dest[1]]
-            if node.deposit(token):
+            slot = token.dest[2]
+            buffer = (node._buf_by_val.get(slot._value_)
+                      if slot is not None else None)
+            if buffer is None:
+                raise SimulationError(f"token to unmapped slot: {token}")
+            node._sig_cache = None
+            effective_changed, finality_changed = buffer.deposit(token)
+            if effective_changed or finality_changed:
                 self._on_node_event(frame, node)
         elif kind == "write":
             self._deposit_write(frame, token)
@@ -320,7 +425,7 @@ class Processor:
         if plan is not None:
             wave, value, final = plan
             self._send_tokens(frame, node.index, node.inst.targets,
-                              ("inst", node.index), wave, value, final)
+                              node._producer_key, wave, value, final)
 
     def _deliver_reg_fwd(self, payload: RegFwdPayload) -> None:
         frame = self.frames_by_uid.get(payload.frame_uid)
@@ -347,38 +452,73 @@ class Processor:
 
     def _coord_of_target(self, target: Target):
         if target.kind is TargetKind.WRITE:
-            return self.config.control_coord
-        tile = self.config.tile_of_instruction(target.index)
-        return self.config.tile_coord(tile)
+            return self._control_coord
+        return self._inst_coord[target.index]
 
     def _src_coord(self, inst_index: Optional[int]):
         if inst_index is None:
-            return self.config.control_coord
-        return self.config.tile_coord(
-            self.config.tile_of_instruction(inst_index))
+            return self._control_coord
+        return self._inst_coord[inst_index]
+
+    def _target_plan(self, targets) -> Tuple:
+        """(dest_key, coord) pairs for a static target list.
+
+        Target lists are static per program block, so the plan is computed
+        once per list; the key is the list's identity, which is stable
+        because the program (and its blocks) outlives the processor.
+        """
+        plan = self._target_plans.get(id(targets))
+        if plan is None:
+            plan = tuple(
+                (write_dest(t.index), self._control_coord)
+                if t.kind is TargetKind.WRITE
+                else (inst_dest(t.index, t.slot), self._inst_coord[t.index])
+                for t in targets)
+            self._target_plans[id(targets)] = plan
+        return plan
 
     def _send_tokens(self, frame: Frame, src_index: Optional[int],
                      targets, producer, wave: int, value, final: bool
                      ) -> None:
+        # Inline ``OperandNetwork.send`` (route-cache lookup, stats, heap
+        # push): token fan-out is the single most frequent network call.
         src = self._src_coord(src_index)
-        for target in targets:
-            if target.kind is TargetKind.WRITE:
-                dest_key = write_dest(target.index)
-            else:
-                dest_key = inst_dest(target.index, target.slot)
-            token = Token(frame.uid, dest_key, producer, wave, value, final)
-            if value is None:
-                self.network.stats.null_sent += 1
-            self.network.send(src, Message(MsgKind.TOKEN,
-                                           self._coord_of_target(target),
-                                           token, final))
+        uid = frame.uid
+        network = self.network
+        stats = network.stats
+        plan = self._target_plan(targets)
+        n = len(plan)
+        if value is None:
+            stats.null_sent += n
+        stats.sent += n
+        if final:
+            stats.final_sent += n
+        heap = network._heap
+        route_cache = network._route_cache
+        route_latency = network.config.route_latency
+        now = network.now
+        seq = network._seq
+        push = heapq.heappush
+        token_kind = MsgKind.TOKEN
+        for dest_key, coord in plan:
+            routed = route_cache.get((src, coord))
+            if routed is None:
+                routed = route_latency(src, coord)
+                route_cache[(src, coord)] = routed
+            seq += 1
+            push(heap, (now + (routed if routed > 1 else 1), seq,
+                        Message(token_kind, coord,
+                                Token(uid, dest_key, producer, wave, value,
+                                      final),
+                                final)))
+        network._seq = seq
 
     def _send_branch_token(self, frame: Frame, node: InstructionNode,
                            wave: int, value, final: bool) -> None:
-        token = Token(frame.uid, BRANCH_DEST, ("inst", node.index),
+        token = Token(frame.uid, BRANCH_DEST, node._producer_key,
                       wave, value, final)
         self.network.send(self._src_coord(node.index),
-                          Message(MsgKind.TOKEN, self.config.control_coord,
+                          Message(MsgKind.TOKEN, self._control_coord,
                                   token, final))
 
     # ==================================================================
@@ -386,8 +526,16 @@ class Processor:
     # ==================================================================
 
     def _enqueue(self, frame: Frame, node: InstructionNode) -> None:
-        tile = self.tiles[self.config.tile_of_instruction(node.index)]
-        tile.enqueue(frame.seq, node)
+        # Inline ``ExecTile.enqueue`` (identity dedup + heap push).
+        tile_index = self._inst_tile[node.index]
+        tile = self.tiles[tile_index]
+        queued = tile._queued
+        if node not in queued:
+            queued.add(node)
+            tile._push_seq += 1
+            heapq.heappush(tile._ready,
+                           (frame.seq, node.index, tile._push_seq, node))
+        self._active_tiles.add(tile_index)
 
     def _on_node_event(self, frame: Frame, node: InstructionNode) -> None:
         """An input changed: re-issue if needed, else maybe finalise.
@@ -395,10 +543,18 @@ class Processor:
         Finality-upgrade traffic (the explicit commit wave) only exists
         under DSRE; flush machines have no use for it.
         """
-        if node.can_issue():
-            self._enqueue(frame, node)
-            return
-        if self.config.recovery != "dsre":
+        # Inline ``node.can_issue`` (state + resolution + signature): this
+        # runs once per token-buffer change, the highest-frequency event.
+        if node.state is NodeState.IDLE:
+            for b in node._buffer_list:
+                if b._effective.status is SlotStatus.EMPTY:
+                    break
+            else:
+                if node.exec_count == 0 \
+                        or node.current_signature() != node.issued_signature:
+                    self._enqueue(frame, node)
+                    return
+        if not self._recovery_dsre:
             return
         if (node.state is NodeState.IDLE and node.exec_count > 0
                 and node.output_final_ready()):
@@ -414,26 +570,88 @@ class Processor:
                                  null=False, final=False, addr_final=True)
 
     def _tick_tiles(self) -> None:
+        # The per-tile completion pop and issue loop replicate
+        # ``ExecTile.pop_completed`` / ``ExecTile.issue_ready`` inline
+        # (same pop order, same bookkeeping) to avoid call and list
+        # overhead on the two hottest loops in the simulator.
+        now = self.cycle
+        frames_by_uid = self.frames_by_uid
+        stats = self.stats
+        op_latency = self._op_latency
         latency_fn = self._node_latency
-        alive_fn = self.frames_by_uid.__contains__
-        for tile in self.tiles:
-            for node in tile.pop_completed(self.cycle):
-                frame = self.frames_by_uid.get(node.frame_uid)
+        pop = heapq.heappop
+        push = heapq.heappush
+        # Snapshot (sorted, to keep the original tile walk order): message
+        # handlers below may activate further tiles mid-walk, and those —
+        # exactly as in the poll-every-tile loop — wait for the next cycle.
+        drained = []
+        for index in sorted(self._active_tiles):
+            tile = self.tiles[index]
+            executing = tile._executing
+            while executing and executing[0][0] <= now:
+                node = pop(executing)[2]
+                frame = frames_by_uid.get(node.frame_uid)
                 if frame is None:
                     continue
                 outcome = node.complete_execution()
-                self.stats.executions += 1
+                stats.executions += 1
                 if node.exec_count > 1:
-                    self.stats.reexecutions += 1
+                    stats.reexecutions += 1
                 final = node.output_final_ready()
                 self._emit_node_output(frame, node, outcome, final)
                 if node.needs_reissue():
                     self._enqueue(frame, node)
-            tile.issue_ready(self.cycle, latency_fn, alive_fn)
+            ready = tile._ready
+            if ready:
+                queued = tile._queued
+                width = tile.issue_width
+                issued = 0
+                while ready and issued < width:
+                    node = pop(ready)[3]
+                    queued.discard(node)
+                    if node.frame_uid not in frames_by_uid:
+                        continue
+                    # Inline ``can_issue`` + ``_begin_issued`` (computing
+                    # the signature once for both the check and the issue).
+                    if node.state is not NodeState.IDLE:
+                        continue
+                    for b in node._buffer_list:
+                        if b._effective.status is SlotStatus.EMPTY:
+                            break
+                    else:
+                        sig = node.current_signature()
+                        if node.exec_count != 0 \
+                                and sig == node.issued_signature:
+                            continue
+                        node.state = NodeState.EXECUTING
+                        node.issued_signature = sig
+                        node.exec_count += 1
+                        latency = op_latency.get(id(node.inst))
+                        if latency is None:
+                            latency = latency_fn(node)
+                        tile._push_seq += 1
+                        push(executing,
+                             (now + latency, tile._push_seq, node))
+                        issued += 1
+            if not (ready or executing):
+                drained.append(index)
+        for index in drained:
+            # Re-check: a later tile's handler may have re-activated it.
+            tile = self.tiles[index]
+            if not (tile._ready or tile._executing):
+                self._active_tiles.discard(index)
 
     def _node_latency(self, node: InstructionNode) -> int:
-        from ..isa.opcodes import op_info
-        return self.config.fu_latencies[op_info(node.inst.opcode).op_class]
+        # Keyed by instruction identity (pinned for the program's lifetime)
+        # rather than opcode: enum hashing is a Python-level call and this
+        # is the hottest lookup in the issue path.
+        inst = node.inst
+        latency = self._op_latency.get(id(inst))
+        if latency is None:
+            from ..isa.opcodes import op_info
+            latency = self.config.fu_latencies[op_info(inst.opcode).op_class]
+            self._op_latency[id(inst)] = latency
+        return latency
 
     def _emit_node_output(self, frame: Frame, node: InstructionNode,
                           outcome: Optional[Outcome], final: bool) -> None:
@@ -446,7 +664,7 @@ class Processor:
             if plan is not None:
                 wave, value, fin = plan
                 self._send_tokens(frame, node.index, inst.targets,
-                                  ("inst", node.index), wave, value, fin)
+                                  node._producer_key, wave, value, fin)
         elif outcome.kind is OutcomeKind.BRANCH:
             plan = node.plan_emission(outcome.value, final)
             if plan is not None:
@@ -472,7 +690,7 @@ class Processor:
                 if plan is not None:
                     wave, value, fin = plan
                     self._send_tokens(frame, node.index, inst.targets,
-                                      ("inst", node.index), wave, None, fin)
+                                      node._producer_key, wave, None, fin)
                 if inst.is_load:
                     self._send_load_null(frame, node, final)
 
@@ -485,7 +703,7 @@ class Processor:
         payload = LoadReqPayload(frame.uid, node.inst.lsid, addr,
                                  node.exec_count, final)
         self.network.send(self._src_coord(node.index),
-                          Message(MsgKind.LOAD_REQ, self.config.lsq_coord,
+                          Message(MsgKind.LOAD_REQ, self._lsq_coord,
                                   payload, final))
 
     def _send_store_upd(self, frame: Frame, node: InstructionNode,
@@ -500,7 +718,7 @@ class Processor:
                                   node.exec_count, final, null,
                                   addr_final or final)
         self.network.send(self._src_coord(node.index),
-                          Message(MsgKind.STORE_UPD, self.config.lsq_coord,
+                          Message(MsgKind.STORE_UPD, self._lsq_coord,
                                   payload, final))
 
     def _send_load_null(self, frame: Frame, node: InstructionNode,
@@ -514,7 +732,7 @@ class Processor:
         # Null loads share the store-update channel: the LSQ only needs the
         # (lsid, wave, final) bookkeeping.
         self.network.send(self._src_coord(node.index),
-                          Message(MsgKind.LOAD_REQ, self.config.lsq_coord,
+                          Message(MsgKind.LOAD_REQ, self._lsq_coord,
                                   _NullLoadMarker(payload), final))
 
     # ==================================================================
@@ -542,9 +760,9 @@ class Processor:
                 continue
             payload = RegFwdPayload(sub_uid, read_idx, state[0],
                                     frame.write_fwd_wave[wi], state[1])
-            self.network.send(self.config.control_coord,
+            self.network.send(self._control_coord,
                               Message(MsgKind.REG_FWD,
-                                      self.config.control_coord,
+                                      self._control_coord,
                                       payload, state[1]))
 
     def _deposit_branch(self, frame: Frame, token: Token) -> None:
@@ -587,7 +805,7 @@ class Processor:
                                           action.value, action.final,
                                           action.is_redelivery)
                 self.network.send(
-                    self.config.lsq_coord,
+                    self._lsq_coord,
                     Message(MsgKind.LOAD_RESP,
                             self._src_coord(node.index), payload,
                             action.final),
@@ -600,7 +818,7 @@ class Processor:
                 payload = LoadRespPayload(frame.uid, node.index,
                                           action.value, True, False)
                 self.network.send(
-                    self.config.lsq_coord,
+                    self._lsq_coord,
                     Message(MsgKind.LOAD_RESP,
                             self._src_coord(node.index), payload, True),
                     extra_latency=action.latency)
@@ -658,7 +876,9 @@ class Processor:
         self.stats.occupancy_total += len(self.frames)
 
         for node in frame.nodes:
-            if node.can_issue():
+            # A freshly mapped node can only issue if it has no required
+            # slots at all (constants); every buffer starts EMPTY.
+            if not node._buffer_list:
                 self._enqueue(frame, node)
 
         self._wire_reads(frame)
@@ -695,9 +915,9 @@ class Processor:
                     payload = RegFwdPayload(frame.uid, ri, forwarded[0],
                                             older.write_fwd_wave[wi],
                                             forwarded[1])
-                    self.network.send(self.config.control_coord,
+                    self.network.send(self._control_coord,
                                       Message(MsgKind.REG_FWD,
-                                              self.config.control_coord,
+                                              self._control_coord,
                                               payload, forwarded[1]))
 
     # ==================================================================
@@ -731,14 +951,30 @@ class Processor:
     # ==================================================================
 
     def _tick_commit(self) -> None:
-        if not self.frames or self.cycle < self.commit_ready_cycle:
+        frames = self.frames
+        if not frames or self.cycle < self.commit_ready_cycle:
             return
-        head = self.frames[0]
-        if self.config.recovery == "dsre":
+        head = frames[0]
+        if self._recovery_dsre:
+            # Cheap raw-finality screen first: this poll runs every active
+            # cycle and almost always fails here.  Once everything is
+            # final, ``outputs_final`` revalidates (and raises on a
+            # finalised-all-null slot exactly as before).
+            if not head.branch_buffer._final:
+                return
+            for buf in head.write_buffers:
+                if not buf._final:
+                    return
             if not head.outputs_final():
                 return
-        elif not head.outputs_produced():
-            return
+        else:
+            # Same raw screen for flush recovery: ``outputs_produced`` is
+            # exactly "every output slot has a VALUE".
+            if head.branch_buffer._effective.status is not SlotStatus.VALUE:
+                return
+            for buf in head.write_buffers:
+                if buf._effective.status is not SlotStatus.VALUE:
+                    return
         if not self.lsq.frame_mem_final(head.uid):
             return
         self._commit(head)

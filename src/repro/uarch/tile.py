@@ -32,11 +32,15 @@ class ExecTile:
     # ------------------------------------------------------------------
 
     def enqueue(self, seq: int, node: InstructionNode) -> None:
-        """Offer a node for (re-)issue; duplicates are coalesced."""
-        key = (node.frame_uid, node.index)
-        if key in self._queued:
+        """Offer a node for (re-)issue; duplicates are coalesced.
+
+        The dedup set holds the node objects themselves: exactly one node
+        exists per (frame_uid, index), so identity is the key.
+        """
+        queued = self._queued
+        if node in queued:
             return
-        self._queued.add(key)
+        queued.add(node)
         self._push_seq += 1
         heapq.heappush(self._ready, (seq, node.index, self._push_seq, node))
 
@@ -50,12 +54,12 @@ class ExecTile:
         issued: List[InstructionNode] = []
         while self._ready and len(issued) < self.issue_width:
             seq, idx, push, node = heapq.heappop(self._ready)
-            self._queued.discard((node.frame_uid, node.index))
+            self._queued.discard(node)
             if not alive_fn(node.frame_uid):
                 continue
             if not node.can_issue():
                 continue
-            node.begin_execution()
+            node._begin_issued()
             done = now + latency_fn(node)
             self._push_seq += 1
             heapq.heappush(self._executing, (done, self._push_seq, node))
