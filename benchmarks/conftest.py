@@ -9,7 +9,6 @@ and roughly where.
 
 from __future__ import annotations
 
-import pytest
 
 
 def regenerate(benchmark, experiment_fn, **kwargs):

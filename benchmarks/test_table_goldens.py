@@ -1,0 +1,62 @@
+"""Golden-table differential check: the published tables, byte for byte.
+
+Regenerates every experiment table at fast scale — uncached, in-process,
+deterministic — and compares each against its golden copy under
+``benchmarks/golden_tables/``.  The goldens were captured from the
+pre-protocol-refactor simulator, so this is the regression gate proving
+the five legacy machine points still produce byte-identical tables: any
+timing drift, counter change, or formatting slip shows up as a diff.
+
+E4 is rendered over :data:`~repro.harness.experiments.E4_LEGACY_COMBOS`
+(the original six-column grid); the additive ``hybrid`` column is covered
+by correctness tests, not pinned bytes.
+
+To re-bless after an *intentional* timing/format change::
+
+    GOLDEN_UPDATE=1 PYTHONHASHSEED=0 \
+        python -m pytest benchmarks/test_table_goldens.py
+
+Run with ``PYTHONHASHSEED=0`` (CI does): table bytes are hash-order free
+today, and the pin keeps it that way.
+"""
+
+import functools
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiments import E4_LEGACY_COMBOS, EXPERIMENTS
+
+GOLDEN_DIR = Path(__file__).parent / "golden_tables"
+
+#: experiment id -> zero-argument render function (fast, uncached,
+#: in-process — the deterministic configuration).
+RENDERERS = {
+    name: (func if name == "t1"
+           else functools.partial(func, fast=True))
+    for name, func in EXPERIMENTS.items()
+}
+RENDERERS["e4"] = functools.partial(
+    EXPERIMENTS["e4"], fast=True, combos=E4_LEGACY_COMBOS)
+
+
+def _render(name: str) -> str:
+    return RENDERERS[name]().render() + "\n"
+
+
+@pytest.mark.parametrize("name", sorted(RENDERERS))
+def test_table_matches_golden(name):
+    golden_path = GOLDEN_DIR / f"{name}.txt"
+    rendered = _render(name)
+    if os.environ.get("GOLDEN_UPDATE") == "1":
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(rendered)
+        pytest.skip(f"golden {name}.txt re-blessed")
+    assert golden_path.exists(), \
+        f"missing golden {golden_path}; run with GOLDEN_UPDATE=1 to create"
+    golden = golden_path.read_text()
+    assert rendered == golden, (
+        f"table {name} drifted from its golden bytes "
+        f"(benchmarks/golden_tables/{name}.txt); if the change is "
+        f"intentional, re-bless with GOLDEN_UPDATE=1")

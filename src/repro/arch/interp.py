@@ -153,8 +153,8 @@ class BlockInterpreter:
                     f"(R{self.block.writes[index].reg}) resolved all-null")
             reg = self.block.writes[index].reg
             if reg in self._reg_writes:
-                raise ExecutionError(
-                    f"block {self.block.name!r}: register R{reg} written twice")
+                raise ExecutionError(f"block {self.block.name!r}: "
+                                     f"register R{reg} written twice")
             self._reg_writes[reg] = slot.value
             return
         self._unresolved[index] -= 1

@@ -291,7 +291,8 @@ class InstructionNode:
         processor immediately re-issues).
         """
         if self.state is not NodeState.EXECUTING:
-            raise SimulationError(f"I{self.index} completed while not executing")
+            raise SimulationError(
+                f"I{self.index} completed while not executing")
         self.state = NodeState.IDLE
         outcome = self._compute_outcome()
         self.last_outcome = outcome

@@ -12,7 +12,7 @@ class ReproError(Exception):
 
 
 class IsaError(ReproError):
-    """An ISA-level constraint was violated (bad instruction, block, program)."""
+    """An ISA-level constraint was violated (bad instruction/block)."""
 
 
 class BlockValidationError(IsaError):
@@ -45,7 +45,7 @@ class SimulationError(ReproError):
 
 
 class GoldenMismatchError(SimulationError):
-    """The timing simulator's committed state diverged from the golden model."""
+    """The timing simulator's committed state diverged from golden."""
 
 
 class CompileError(ReproError):

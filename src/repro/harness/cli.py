@@ -104,6 +104,12 @@ def main(argv: List[str] = None) -> int:
         for key, func in EXPERIMENTS.items():
             doc = (func.__doc__ or "").strip().splitlines()[0]
             print(f"{key:4s} {doc}")
+        print()
+        print("recovery protocols (MachineConfig.recovery):")
+        from ..uarch.recovery import get_protocol, protocol_names
+        for name in protocol_names():
+            doc = (get_protocol(name).__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:8s} {doc}")
         return 0
     if wanted == ["all"]:
         wanted = list(EXPERIMENTS)

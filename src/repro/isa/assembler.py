@@ -30,7 +30,7 @@ produces is validated the same way builder programs are.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..errors import AssemblerError
 from .builder import BlockBuilder, ProgramBuilder, Wire

@@ -67,7 +67,8 @@ class Block:
         self.writes: List[WriteSlot] = list(writes or [])
         self.instructions: List[Instruction] = list(instructions or [])
         self.limits = limits
-        self._slot_producers: Optional[Dict[ConsumerKey, List[ProducerId]]] = None
+        self._slot_producers: Optional[
+            Dict[ConsumerKey, List[ProducerId]]] = None
         #: Frame-construction template (see repro.uarch.frame); derived
         #: state owned here so block mutation can invalidate it.
         self._frame_template = None
@@ -127,10 +128,12 @@ class Block:
             producers: Dict[ConsumerKey, List[ProducerId]] = {}
             for ri, read in enumerate(self.reads):
                 for tgt in read.targets:
-                    producers.setdefault(_consumer_key(tgt), []).append(("read", ri))
+                    producers.setdefault(_consumer_key(tgt),
+                                         []).append(("read", ri))
             for ii, ins in enumerate(self.instructions):
                 for tgt in ins.targets:
-                    producers.setdefault(_consumer_key(tgt), []).append(("inst", ii))
+                    producers.setdefault(_consumer_key(tgt),
+                                         []).append(("inst", ii))
             self._slot_producers = producers
         return self._slot_producers
 
@@ -185,13 +188,15 @@ class Block:
     def _validate_instructions(self, err) -> None:
         mem_ops = [i for i in self.instructions if i.is_memory]
         if len(mem_ops) > self.limits.max_memory_ops:
-            err(f"{len(mem_ops)} memory ops (limit {self.limits.max_memory_ops})")
+            err(f"{len(mem_ops)} memory ops "
+                f"(limit {self.limits.max_memory_ops})")
         lsids = [i.lsid for i in mem_ops]
-        if any(l is None for l in lsids):
+        if any(lsid is None for lsid in lsids):
             err("memory op without an LSID")
         if len(set(lsids)) != len(lsids):
             err(f"duplicate LSIDs: {sorted(lsids)}")
-        if lsids and (min(lsids) < 0 or max(lsids) >= self.limits.max_memory_ops):
+        if lsids and (min(lsids) < 0
+                      or max(lsids) >= self.limits.max_memory_ops):
             err(f"LSID out of range 0..{self.limits.max_memory_ops - 1}")
         for i in mem_ops:
             if i.width not in LEGAL_WIDTHS:
@@ -224,13 +229,15 @@ class Block:
             for tgt in targets:
                 if tgt.kind is TargetKind.WRITE:
                     if not 0 <= tgt.index < len(self.writes):
-                        err(f"{origin} targets missing write slot W{tgt.index}")
+                        err(f"{origin} targets missing write "
+                            f"slot W{tgt.index}")
                     continue
                 if not 0 <= tgt.index < n:
                     err(f"{origin} targets missing instruction I{tgt.index}")
                 consumer = self.instructions[tgt.index]
                 if tgt.slot not in consumer.required_slots():
-                    err(f"{origin} targets I{tgt.index}.{tgt.slot.name.lower()} "
+                    err(f"{origin} targets "
+                        f"I{tgt.index}.{tgt.slot.name.lower()} "
                         f"which {consumer.opcode.value} does not consume")
 
         producers = self.slot_producers
@@ -241,7 +248,8 @@ class Block:
                         f"{slot.name.lower()} has no producer")
         for wi in range(len(self.writes)):
             if ("write", wi, None) not in producers:
-                err(f"write slot W{wi} (R{self.writes[wi].reg}) has no producer")
+                err(f"write slot W{wi} (R{self.writes[wi].reg}) "
+                    f"has no producer")
 
     def _validate_acyclic(self, err) -> None:
         """The intra-block dataflow graph must be a DAG (else it deadlocks)."""

@@ -127,7 +127,8 @@ class BlockBuilder:
         info = op_info(opcode)
         if opcode in (Opcode.LOAD, Opcode.STORE, Opcode.BRO):
             raise IsaError("use load()/store()/branch() for memory/branch ops")
-        expected = info.arity - (1 if imm is not None and info.allows_imm else 0)
+        expected = info.arity - (1 if imm is not None and info.allows_imm
+                                 else 0)
         if opcode is Opcode.MOVI:
             expected = 0
         if len(operands) != expected:

@@ -25,7 +25,7 @@ def _div(a: int, b: int) -> int:
 
 
 def _mod(a: int, b: int) -> int:
-    """Signed remainder matching :func:`_div` (sign of the dividend); x%0 is 0."""
+    """Signed remainder matching :func:`_div` (dividend sign); x%0 is 0."""
     sa, sb = to_signed(a), to_signed(b)
     if sb == 0:
         return 0

@@ -49,7 +49,8 @@ class SimStats:
     @property
     def ipc(self) -> float:
         """Committed useful instructions per cycle."""
-        return self.committed_instructions / self.cycles if self.cycles else 0.0
+        return (self.committed_instructions / self.cycles
+                if self.cycles else 0.0)
 
     @property
     def blocks_per_kcycle(self) -> float:

@@ -12,7 +12,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import ClassVar, Dict, FrozenSet, List, Tuple
 
 from ..errors import ConfigError
 from ..isa.opcodes import OpClass
@@ -41,7 +41,8 @@ class MachineConfig:
     grid_width: int = 4
     grid_height: int = 4
     issue_width_per_tile: int = 1
-    fu_latencies: Dict[OpClass, int] = field(default_factory=_default_latencies)
+    fu_latencies: Dict[OpClass, int] = field(
+        default_factory=_default_latencies)
 
     # --- Operand network ----------------------------------------------
     hop_latency: int = 1          # cycles per Manhattan hop
@@ -73,8 +74,12 @@ class MachineConfig:
     dependence_policy: str = "aggressive"
     storeset_ssit_size: int = 1024
     storeset_lfst_size: int = 256
-    #: Recovery mechanism: "dsre" (the paper's protocol) or "flush".
+    #: Recovery protocol name; valid values are whatever is registered in
+    #: :mod:`repro.uarch.recovery` (``protocol_names()``).
     recovery: str = "dsre"
+    #: Hybrid recovery only: once a frame has absorbed this many load
+    #: re-deliveries, the next wrong value escalates to a flush.
+    hybrid_redelivery_limit: int = 4
     #: Next-block predictor: "lasttarget" or "perfect".
     next_block_predictor: str = "lasttarget"
     predictor_entries: int = 2048
@@ -84,15 +89,26 @@ class MachineConfig:
     watchdog_cycles: int = 400_000   # max cycles with no commit progress
     max_cycles: int = 50_000_000
 
+    #: Fields omitted from :meth:`to_dict` while at their default value.
+    #: Fields added *after* results exist go here so that configs which do
+    #: not exercise them serialise exactly as before — keeping every
+    #: previously computed ``stable_hash`` (the sweep cache key) valid.
+    _ELIDE_AT_DEFAULT: ClassVar[FrozenSet[str]] = frozenset(
+        {"hybrid_redelivery_limit"})
+
     # ------------------------------------------------------------------
 
     def validate(self) -> None:
+        # Imported here: the recovery package's protocol modules import
+        # simulator types, which import this module.
+        from .recovery import get_protocol
         if self.grid_width < 1 or self.grid_height < 1:
             raise ConfigError("grid must be at least 1x1")
         if self.max_frames < 1:
             raise ConfigError("need at least one frame")
-        if self.recovery not in ("dsre", "flush"):
-            raise ConfigError(f"unknown recovery {self.recovery!r}")
+        get_protocol(self.recovery)
+        if self.hybrid_redelivery_limit < 0:
+            raise ConfigError("hybrid_redelivery_limit must be >= 0")
         if self.dependence_policy not in (
                 "conservative", "aggressive", "storeset", "oracle"):
             raise ConfigError(
@@ -157,11 +173,16 @@ class MachineConfig:
 
         ``fu_latencies`` is keyed by :class:`OpClass` name so the result
         survives JSON; key order is canonical (sorted) so two equal configs
-        always serialise identically.
+        always serialise identically.  Fields in :data:`_ELIDE_AT_DEFAULT`
+        are omitted while at their default (``from_dict`` restores them),
+        so configs that predate those fields keep their serialised form —
+        and their ``stable_hash`` cache keys.
         """
         out: Dict[str, object] = {}
         for f in dataclasses.fields(self):
             value = getattr(self, f.name)
+            if f.name in self._ELIDE_AT_DEFAULT and value == f.default:
+                continue
             if f.name == "fu_latencies":
                 value = {klass.name: value[klass]
                          for klass in sorted(value, key=lambda k: k.name)}

@@ -9,8 +9,10 @@ sequential memory order.  It implements:
   (charged as a data-cache access);
 * **dependence checking** — when a store resolves (or changes address or
   value on a DSRE re-execution wave), every younger already-issued load
-  whose correct value changed is flagged: a *violation* under flush
-  recovery, a *re-delivery* under DSRE;
+  whose correct value changed is handed to the machine's
+  :class:`~repro.uarch.recovery.base.RecoveryProtocol` (a *violation*
+  under flush recovery, a *re-delivery* under DSRE, either under the
+  hybrid);
 * **deferral** — loads wait when the dependence policy says so, and are
   re-polled whenever an older store resolves;
 * **confirmation** — the commit-wave step for loads: once a load's address
@@ -39,15 +41,19 @@ hooks with the original full scans; the property tests in
 from __future__ import annotations
 
 import enum
-from bisect import bisect_left, insort
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 from ..arch.memory import SparseMemory
 from ..errors import SimulationError
 from ..isa.block import Block
 from ..spec.policy import DependencePolicy, LoadQuery, StoreView
 from .cache import Cache
+
+if TYPE_CHECKING:                                    # pragma: no cover
+    from .recovery.base import RecoveryProtocol
 
 
 class MemKind(enum.Enum):
@@ -175,15 +181,17 @@ class LoadStoreQueue:
 
     def __init__(self, memory: SparseMemory, dcache: Cache,
                  policy: DependencePolicy, forward_latency: int,
-                 recovery: str):
+                 protocol: "RecoveryProtocol"):
         self.memory = memory
         self.dcache = dcache
         self.policy = policy
         self.forward_latency = forward_latency
-        self.recovery = recovery
-        #: DSRE gates commit on the commit wave (confirmation); flush
-        #: recovery gates on completion only.
-        self.require_confirm = recovery == "dsre"
+        #: The machine's recovery protocol; owns the wrong-value response
+        #: (see ``_recheck_loads``).
+        self.protocol = protocol
+        #: Commit-wave protocols gate commit on confirmation; completion-
+        #: gated protocols (flush) skip confirmation entirely.
+        self.require_confirm = protocol.requires_commit_wave
         #: Current cycle, advanced by the owning processor.
         self.now = 0
         #: One-shot wait bits set on violation: the refetched instance of a
@@ -471,7 +479,8 @@ class LoadStoreQueue:
                 skey = store.order_key
                 if skey >= key or skey in seen:
                     continue
-                if store.addr < addr + width and addr < store.addr + store.width:
+                if (store.addr < addr + width
+                        and addr < store.addr + store.width):
                     seen.add(skey)
                     out.append(store)
         out.sort(key=lambda s: s.order_key, reverse=True)
@@ -565,7 +574,8 @@ class LoadStoreQueue:
                     byte = (store.value >> (8 * (byte_addr - store.addr))) \
                         & 0xFF
                     any_fwd = True
-                    if youngest is None or store.order_key > youngest.order_key:
+                    if (youngest is None
+                            or store.order_key > youngest.order_key):
                         youngest = store
                     break
             if byte is None:
@@ -760,12 +770,30 @@ class LoadStoreQueue:
                 continue
             self.policy.on_misspeculation(load.static_id, store.static_id)
             self.stats.trainings += 1
-            if self.recovery == "flush":
-                self.stats.violations += 1
-                actions.append(Violation(load, store))
-            else:
-                actions.extend(self._issue_load(load, is_redelivery=True))
+            actions.extend(self.protocol.on_wrong_value(self, load, store))
         return actions
+
+    def redeliver(self, load: MemEntry) -> List[LsqAction]:
+        """Re-issue a mis-speculated load with its corrected value.
+
+        The selective-re-execution response to :meth:`RecoveryProtocol
+        .on_wrong_value`: the corrected value re-fires the load's consumer
+        cone as a new speculative wave.
+        """
+        return self._issue_load(load, is_redelivery=True)
+
+    def frame_redeliveries(self, frame_uid: int) -> int:
+        """Total re-deliveries absorbed by the frame's loads so far.
+
+        Escalation metric for bounded-re-execution protocols (hybrid);
+        counts confirmation-time final re-deliveries too, since those are
+        equally re-executed work.
+        """
+        entries = self._frames.get(frame_uid)
+        if not entries:
+            return 0
+        return sum(e.redeliveries for e in entries.values()
+                   if e.kind is MemKind.LOAD)
 
     def _after_store_event(self, store: MemEntry) -> List[LsqAction]:
         """Wake deferred loads and retry confirmations after a store event."""

@@ -2,13 +2,18 @@
 
 Pulls the substrates together: frames of dataflow nodes mapped across the
 execution-tile grid, the operand mesh, the LSQ, block fetch with next-block
-prediction, and in-order block commit.  Mis-speculation recovery is either
+prediction, and in-order block commit.  Mis-speculation recovery is owned
+by a pluggable :class:`~repro.uarch.recovery.base.RecoveryProtocol`
+(``flush``, ``dsre``, ``hybrid``, ...): the protocol decides the response
+to a wrong load value and the frame-level commit gate, while the processor
+keeps only mechanism-agnostic plumbing — the squash/refetch path (shared
+with branch redirects, see :meth:`Processor.squash_from`) and the
+commit-wave token machinery, enabled by the protocol's
+``requires_commit_wave`` capability flag rather than by its name.
 
-* ``flush`` — a detected load/store violation squashes the offending frame
-  and everything younger, then refetches (the conventional mechanism); or
-* ``dsre`` — the paper's protocol: the LSQ re-delivers the corrected value
-  to the load, which re-fires its consumers as a new speculative wave while
-  the commit wave (final tokens) trails behind and gates block commit.
+Optionally, a structured event sink (:class:`~repro.uarch.events
+.EventHooks`) can be attached via :meth:`Processor.attach_hooks`; with no
+sink attached every emission site is a single ``is None`` test.
 
 The timing model never bypasses architecture: committed register and memory
 state is compared block-by-block against the functional golden model when
@@ -35,10 +40,12 @@ from ..spec import build_policy
 from ..stats.counters import SimStats
 from .cache import BlockCache, build_hierarchy
 from .config import MachineConfig, default_config
+from .events import EventHooks, format_snapshot, machine_snapshot
 from .frame import Frame
 from .lsq import Confirmed, LoadResponse, LoadStoreQueue, Violation
 from .network import Message, MsgKind, OperandNetwork
 from .predictor import build_predictor
+from .recovery import build_recovery
 from .tile import ExecTile
 
 
@@ -150,9 +157,11 @@ class Processor:
                                  self.config.icache_miss_penalty)
         self.network = OperandNetwork(self.config)
         self.policy = build_policy(self.config, golden)
+        self.protocol = build_recovery(self.config)
+        self.protocol.bind(self)
         self.lsq = LoadStoreQueue(self.arch.memory, self.dcache, self.policy,
                                   self.config.lsq_forward_latency,
-                                  self.config.recovery)
+                                  self.protocol)
         self.predictor = build_predictor(self.config, golden)
         self.tiles = [ExecTile(i, self.config.tile_coord(i),
                                self.config.issue_width_per_tile)
@@ -187,12 +196,24 @@ class Processor:
         self._lsq_coord = self.config.lsq_coord
         self._op_latency: Dict = {}
         self._target_plans: Dict[int, Tuple] = {}
-        #: Recovery-mode flag, read on every node event and commit poll.
-        self._recovery_dsre = self.config.recovery == "dsre"
+        #: Protocol capability flag, read on every node event: commit-wave
+        #: protocols need finality upgrades and store address-finality
+        #: notices; completion-gated ones have no use for either.
+        self._commit_wave = self.protocol.requires_commit_wave
+        #: The protocol's commit gate, bound once — polled every active
+        #: cycle in ``_tick_commit``.
+        self._outputs_ready = self.protocol.frame_outputs_ready
+        #: Optional structured event sink (``attach_hooks``); every
+        #: emission site costs one ``is None`` test while unset.
+        self.hooks: Optional[EventHooks] = None
         #: Next-event cycle computed by the previous ``_check_progress``;
         #: consumed (and cleared) by the next ``_advance_cycle`` so the
         #: scan runs once per loop iteration, not twice.
         self._next_event_memo: Optional[int] = None
+
+    def attach_hooks(self, hooks: Optional[EventHooks]) -> None:
+        """Install (or with ``None``, remove) the structured event sink."""
+        self.hooks = hooks
 
     # ==================================================================
     # Main loop
@@ -293,22 +314,7 @@ class Processor:
         return best
 
     def _debug_dump(self) -> str:
-        lines = [f"cycle={self.cycle} frames={len(self.frames)} "
-                 f"fetch_target={self.fetch_target!r} "
-                 f"inflight={self.fetch_inflight}"]
-        for frame in self.frames[:4]:
-            lines.append(f"  {frame!r} branch={frame.branch_label!r} "
-                         f"branch_final={frame.branch_buffer.is_final()} "
-                         f"mem_final={self.lsq.frame_mem_final(frame.uid)}")
-            for node in frame.nodes:
-                if not node.final_emitted:
-                    resolved = {s.name: b.effective.status.value
-                                for s, b in node.buffers.items()}
-                    lines.append(
-                        f"    I{node.index} {node.inst.opcode.value} "
-                        f"exec={node.exec_count} state={node.state.value} "
-                        f"slots={resolved}")
-        return "\n".join(lines)
+        return format_snapshot(machine_snapshot(self))
 
     # ==================================================================
     # Message delivery
@@ -337,6 +343,7 @@ class Processor:
         stats = network.stats
         bandwidth = self.config.port_bandwidth
         port_use = network._port_use
+        hooks = self.hooks
         pop = heapq.heappop
         push = heapq.heappush
         token_kind = MsgKind.TOKEN
@@ -355,6 +362,8 @@ class Processor:
             stats.delivered += 1
             stats.total_latency += now - (arrive - 1)
             kind = msg.kind
+            if hooks is not None:
+                hooks.on_deliver(now, kind.name)
             if kind is token_kind:
                 self._deliver_token(msg.payload)
             elif kind is load_req_kind:
@@ -421,6 +430,10 @@ class Processor:
         if payload.is_redelivery:
             self.stats.load_redeliveries += 1
             self.stats.dependence_mispeculations += 1
+            hooks = self.hooks
+            if hooks is not None:
+                hooks.on_redeliver(self.cycle, frame.uid, node.index,
+                                   payload.value, payload.final)
         plan = node.plan_emission(payload.value, payload.final)
         if plan is not None:
             wave, value, final = plan
@@ -541,7 +554,8 @@ class Processor:
         """An input changed: re-issue if needed, else maybe finalise.
 
         Finality-upgrade traffic (the explicit commit wave) only exists
-        under DSRE; flush machines have no use for it.
+        under commit-wave protocols; completion-gated machines have no use
+        for it.
         """
         # Inline ``node.can_issue`` (state + resolution + signature): this
         # runs once per token-buffer change, the highest-frequency event.
@@ -554,7 +568,7 @@ class Processor:
                         or node.current_signature() != node.issued_signature:
                     self._enqueue(frame, node)
                     return
-        if not self._recovery_dsre:
+        if not self._commit_wave:
             return
         if (node.state is NodeState.IDLE and node.exec_count > 0
                 and node.output_final_ready()):
@@ -579,6 +593,7 @@ class Processor:
         stats = self.stats
         op_latency = self._op_latency
         latency_fn = self._node_latency
+        hooks = self.hooks
         pop = heapq.heappop
         push = heapq.heappush
         # Snapshot (sorted, to keep the original tile walk order): message
@@ -633,6 +648,10 @@ class Processor:
                         push(executing,
                              (now + latency, tile._push_seq, node))
                         issued += 1
+                        if hooks is not None:
+                            hooks.on_issue(now, node.frame_uid, node.index,
+                                           node.inst.opcode.value,
+                                           node.exec_count)
             if not (ready or executing):
                 drained.append(index)
         for index in drained:
@@ -781,7 +800,7 @@ class Processor:
             self.stats.branch_redirects += 1
             if wave > 1:
                 self.stats.late_branch_redirects += 1
-            self._flush_from(frame.seq + 1, label, cause="branch")
+            self.squash_from(frame.seq + 1, label, cause="branch")
         elif is_last:
             if self.fetch_seq == frame.seq + 1 and self.fetch_target != label:
                 self.stats.branch_redirects += 1
@@ -823,18 +842,7 @@ class Processor:
                             self._src_coord(node.index), payload, True),
                     extra_latency=action.latency)
             elif isinstance(action, Violation):
-                # Wait bit first: even when this frame was already squashed
-                # by an earlier violation in the same batch, its refetched
-                # instance must wait, or batches of violating loads would
-                # take turns mis-speculating forever.
-                self.lsq.poison(action.load.seq, action.load.static_id)
-                self.stats.dependence_mispeculations += 1
-                frame = self.frames_by_uid.get(action.load.frame_uid)
-                if frame is None:
-                    continue
-                self.stats.violation_flushes += 1
-                self._flush_from(frame.seq, frame.block.name,
-                                 cause="violation")
+                self.protocol.handle_violation(action)
             else:
                 raise SimulationError(f"unknown LSQ action {action!r}")
 
@@ -857,6 +865,10 @@ class Processor:
             penalty = self.config.block_fetch_cycles \
                 + self.icache.access(self.fetch_target)
             self.fetch_inflight = (self.fetch_target, self.cycle + penalty)
+            hooks = self.hooks
+            if hooks is not None:
+                hooks.on_fetch(self.cycle, self.fetch_target,
+                               self.cycle + penalty)
 
     def _map_frame(self, name: str) -> None:
         block = self.program.block(name)
@@ -874,6 +886,9 @@ class Processor:
         self.stats.frames_mapped += 1
         self.stats.occupancy_samples += 1
         self.stats.occupancy_total += len(self.frames)
+        hooks = self.hooks
+        if hooks is not None:
+            hooks.on_map(self.cycle, uid, seq, name)
 
         for node in frame.nodes:
             # A freshly mapped node can only issue if it has no required
@@ -921,10 +936,16 @@ class Processor:
                                               payload, forwarded[1]))
 
     # ==================================================================
-    # Flush (both branch redirects and flush-mode violations)
+    # Squash (branch redirects and protocol-escalated violations)
     # ==================================================================
 
-    def _flush_from(self, seq: int, restart: str, cause: str) -> None:
+    def squash_from(self, seq: int, restart: str, cause: str) -> None:
+        """Drop every frame with ``seq`` or younger; refetch ``restart``.
+
+        Mechanism-agnostic: branch redirects use it directly, and recovery
+        protocols call it from ``handle_violation`` — it is part of the
+        protocol-facing processor surface (docs/PROTOCOL.md §2).
+        """
         victims = [f for f in self.frames if f.seq >= seq]
         if not victims and cause == "violation":
             raise SimulationError("violation flush with no victim frames")
@@ -955,26 +976,10 @@ class Processor:
         if not frames or self.cycle < self.commit_ready_cycle:
             return
         head = frames[0]
-        if self._recovery_dsre:
-            # Cheap raw-finality screen first: this poll runs every active
-            # cycle and almost always fails here.  Once everything is
-            # final, ``outputs_final`` revalidates (and raises on a
-            # finalised-all-null slot exactly as before).
-            if not head.branch_buffer._final:
-                return
-            for buf in head.write_buffers:
-                if not buf._final:
-                    return
-            if not head.outputs_final():
-                return
-        else:
-            # Same raw screen for flush recovery: ``outputs_produced`` is
-            # exactly "every output slot has a VALUE".
-            if head.branch_buffer._effective.status is not SlotStatus.VALUE:
-                return
-            for buf in head.write_buffers:
-                if buf._effective.status is not SlotStatus.VALUE:
-                    return
+        # The protocol's frame-level gate (bound once at construction),
+        # then the LSQ's per-entry memory gate.
+        if not self._outputs_ready(head):
+            return
         if not self.lsq.frame_mem_final(head.uid):
             return
         self._commit(head)
@@ -1005,6 +1010,10 @@ class Processor:
         self.stats.committed_instructions += useful
         self.stats.committed_nulls += len(head.nodes) - useful
         self.last_commit_cycle = self.cycle
+        hooks = self.hooks
+        if hooks is not None:
+            hooks.on_commit(self.cycle, head.uid, head.seq,
+                            head.block.name, len(stores))
 
         self.frames.pop(0)
         self.frames_by_uid.pop(head.uid)

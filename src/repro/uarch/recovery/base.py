@@ -1,0 +1,177 @@
+"""The recovery-protocol abstraction and its registry.
+
+A :class:`RecoveryProtocol` owns everything that distinguishes one
+mis-speculation recovery mechanism from another:
+
+* **violation handling** — what happens when the LSQ reports that an
+  issued load returned a value that is now known wrong (squash? correct
+  in place? escalate?);
+* **re-delivery waves** — whether corrected values are re-delivered to
+  consumer cones (and when a protocol stops doing so);
+* **commit gating** — when a frame's outputs are architecturally safe to
+  commit (completion vs the full commit wave);
+* **squash bookkeeping** — the stats and wait-bit updates around a
+  violation flush.
+
+The processor and LSQ are mechanism-agnostic: they call into the bound
+protocol at these seams and never compare ``config.recovery`` strings.
+Generic machinery that several protocols share — the squash/refetch path
+(also used by branch redirects), commit-wave token plumbing (keyed on
+:attr:`RecoveryProtocol.requires_commit_wave`) — stays in the processor.
+
+The registry mirrors :func:`repro.spec.build_policy`: protocols register
+by name via :func:`register_protocol`, ``MachineConfig.recovery``
+validation and the CLI's protocol listing are derived from the registered
+set, and :func:`build_recovery` instantiates whatever protocol a
+configuration names.  ``docs/PROTOCOL.md`` documents the full contract,
+including how to add a protocol.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar, Dict, List, Tuple, Type
+
+from ...errors import ConfigError, SimulationError
+
+if TYPE_CHECKING:                                    # pragma: no cover
+    from ..config import MachineConfig
+    from ..frame import Frame
+    from ..lsq import LoadStoreQueue, LsqAction, MemEntry, Violation
+
+
+class RecoveryProtocol:
+    """One mis-speculation recovery mechanism (see module docstring).
+
+    Subclasses set :attr:`name` (the ``MachineConfig.recovery`` string),
+    :attr:`requires_commit_wave`, and implement the two decision seams
+    :meth:`on_wrong_value` (LSQ side) and :meth:`frame_outputs_ready`
+    (commit side).  :meth:`handle_violation` has a default squash-and-
+    refetch implementation; protocols that never emit violations should
+    override it to raise.
+    """
+
+    #: Registry key; also the value of ``MachineConfig.recovery``.
+    name: ClassVar[str] = ""
+    #: True if the protocol gates commit on the commit wave: nodes emit
+    #: finality upgrades, stores report split address-finality, and the
+    #: LSQ runs load confirmation.  The processor keys all commit-wave
+    #: plumbing on this capability flag, never on the protocol's name.
+    requires_commit_wave: ClassVar[bool] = False
+
+    def __init__(self, config: "MachineConfig"):
+        self.config = config
+        #: Set by :meth:`bind`; ``None`` for a free-standing protocol
+        #: (unit tests drive the LSQ seam without a processor).
+        self.processor = None
+
+    def bind(self, processor) -> None:
+        """Attach to the owning processor (called once, at build time)."""
+        self.processor = processor
+
+    # --- LSQ-side seam -------------------------------------------------
+
+    def on_wrong_value(self, lsq: "LoadStoreQueue", load: "MemEntry",
+                       store: "MemEntry") -> List["LsqAction"]:
+        """A younger issued load is holding a value now known to be wrong.
+
+        Called by the LSQ's value-based dependence check after policy
+        training; ``store`` is the store whose event exposed the stale
+        value.  Returns the LSQ actions implementing this protocol's
+        response (a re-delivery, a :class:`~repro.uarch.lsq.Violation`,
+        ...).
+        """
+        raise NotImplementedError
+
+    # --- Processor-side seams ------------------------------------------
+
+    def handle_violation(self, violation: "Violation") -> None:
+        """React to a :class:`~repro.uarch.lsq.Violation` action.
+
+        Default: the canonical squash-and-refetch response.  The wait bit
+        is set first — even when this frame was already squashed by an
+        earlier violation in the same batch, its refetched instance must
+        wait, or batches of violating loads would take turns
+        mis-speculating forever.
+        """
+        proc = self.processor
+        proc.lsq.poison(violation.load.seq, violation.load.static_id)
+        proc.stats.dependence_mispeculations += 1
+        frame = proc.frames_by_uid.get(violation.load.frame_uid)
+        if frame is None:
+            return
+        proc.stats.violation_flushes += 1
+        hooks = proc.hooks
+        if hooks is not None:
+            hooks.on_violate(proc.cycle, violation.load.frame_uid,
+                             violation.load.lsid,
+                             violation.store.frame_uid,
+                             violation.store.lsid)
+        proc.squash_from(frame.seq, frame.block.name, cause="violation")
+
+    def frame_outputs_ready(self, frame: "Frame") -> bool:
+        """Commit gate: may this frame's outputs commit *now*?
+
+        Polled for the oldest frame only; the LSQ's per-entry memory gate
+        (``frame_mem_final``) is checked separately by the processor.
+        Must be monotone (once True, stays True until commit) — see the
+        commit-gating contract in docs/PROTOCOL.md.
+        """
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Type[RecoveryProtocol]] = {}
+
+
+def register_protocol(cls: Type[RecoveryProtocol]) -> Type[RecoveryProtocol]:
+    """Class decorator: register ``cls`` under ``cls.name``."""
+    name = cls.name
+    if not name:
+        raise ConfigError(
+            f"recovery protocol {cls.__name__} declares no name")
+    current = _REGISTRY.get(name)
+    if current is not None and current is not cls:
+        raise ConfigError(
+            f"recovery protocol name {name!r} already registered by "
+            f"{current.__name__}")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def protocol_names() -> Tuple[str, ...]:
+    """Registered protocol names, sorted (the valid ``recovery`` values)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_protocol(name: str) -> Type[RecoveryProtocol]:
+    """The protocol class registered under ``name`` (ConfigError if none).
+
+    The error message is derived from the registry, so it is always an
+    exhaustive statement of what ``MachineConfig.recovery`` accepts.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown recovery {name!r}; registered protocols: "
+            + ", ".join(protocol_names())) from None
+
+
+def build_recovery(config: "MachineConfig") -> RecoveryProtocol:
+    """Instantiate the protocol named by ``config.recovery``.
+
+    Mirrors :func:`repro.spec.build_policy`: the registry, not a
+    hardcoded tuple, decides what names are valid.
+    """
+    return get_protocol(config.recovery)(config)
+
+
+# Re-exported here so protocol modules can raise it without reaching into
+# the package root.
+__all__ = [
+    "RecoveryProtocol", "SimulationError", "build_recovery", "get_protocol",
+    "protocol_names", "register_protocol",
+]

@@ -1,0 +1,53 @@
+"""Hybrid DSRE+flush recovery: selective re-execution with a squash valve.
+
+The protocol space between "flush everything" and "re-execute only the
+cone" is wider than two points (Transactional WaveCache's transaction-
+scoped memory speculation and distributed speculative re-execution for
+resilient cloud applications both live in it); this protocol is the
+repo's first point in between, and the proof that the
+:class:`~repro.uarch.recovery.base.RecoveryProtocol` seam is real.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lsq import Violation
+from .base import RecoveryProtocol, register_protocol
+from .dsre import DsreRecovery
+
+
+@register_protocol
+class HybridRecovery(DsreRecovery):
+    """DSRE with a flush fallback once a frame re-delivers too often.
+
+    Behaves exactly like :class:`DsreRecovery` — corrected values
+    re-delivered to the cone, commit gated on the commit wave — until a
+    frame accumulates more than ``MachineConfig.hybrid_redelivery_limit``
+    re-deliveries.  Past the limit, the next wrong value in that frame is
+    escalated to a flush-style violation: the frame and everything
+    younger squash and refetch, with the violating load's wait bit set.
+    A pathologically thrashing frame (a cone re-executed once per
+    arriving store) therefore pays one bounded re-execution bill and then
+    falls back to the conventional mechanism, while well-behaved frames
+    never flush at all.
+
+    Confirmation-time corrections (the one final re-delivery
+    ``_maybe_confirm`` may emit) do not escalate: by then every older
+    store is final, so the corrected value is the last word and a squash
+    could only waste work.
+    """
+
+    name = "hybrid"
+    requires_commit_wave = True
+
+    def on_wrong_value(self, lsq, load, store) -> List:
+        limit = self.config.hybrid_redelivery_limit
+        if lsq.frame_redeliveries(load.frame_uid) >= limit:
+            lsq.stats.violations += 1
+            return [Violation(load, store)]
+        return lsq.redeliver(load)
+
+    # DSRE forbids violations; the hybrid escalates to them, so restore
+    # the canonical squash-and-refetch response.
+    handle_violation = RecoveryProtocol.handle_violation

@@ -53,7 +53,7 @@ def build(scale: int) -> KernelInstance:
 SPEC = KernelSpec(
     name="memmove",
     category="serial",
-    description="overlapping forward copy; dependences with stabilising values",
+    description="overlapping forward copy; stabilising-value dependences",
     build=build,
     default_scale=300,
     test_scale=16,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import IsaError
-from repro.isa import Opcode, ProgramBuilder, Slot, TargetKind
+from repro.isa import Opcode, ProgramBuilder
 from repro.arch import run_program
 
 

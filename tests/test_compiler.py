@@ -4,7 +4,7 @@ import pytest
 
 from repro.arch import run_program
 from repro.compiler import compile_source, parse, tokenize
-from repro.compiler.ast_nodes import Assign, BinOp, If, Number, While
+from repro.compiler.ast_nodes import BinOp, If, While
 from repro.errors import CompileError
 from repro.isa.values import to_unsigned
 
@@ -316,16 +316,17 @@ class TestTimingIntegration:
         """A compiled Gauss-Seidel kernel exercises DSRE re-deliveries."""
         from repro.harness.runner import run_point
         from repro.workloads.common import KernelInstance
-        compiled = compile_source("""
-            array a[18] = [9, 8, 7, 6, 5, 4, 3, 2, 1, 9, 8, 7, 6, 5, 4, 3, 2, 1]
+        init = [9, 8, 7, 6, 5, 4, 3, 2, 1] * 2
+        compiled = compile_source(f"""
+            array a[18] = [{", ".join(map(str, init))}]
             var i = 1
-            while i < 17 {
+            while i < 17 {{
                 a[i] = (a[i - 1] + 2 * a[i] + a[i + 1]) >> 2
                 i = i + 1
-            }
+            }}
             return a[16]
         """)
-        ref = [9, 8, 7, 6, 5, 4, 3, 2, 1, 9, 8, 7, 6, 5, 4, 3, 2, 1]
+        ref = list(init)
         for i in range(1, 17):
             ref[i] = (ref[i - 1] + 2 * ref[i] + ref[i + 1]) >> 2
         instance = KernelInstance(

@@ -17,7 +17,7 @@ class TestValidation:
     @pytest.mark.parametrize("field,value", [
         ("grid_width", 0), ("max_frames", 0), ("port_bandwidth", 0),
         ("recovery", "undo"), ("dependence_policy", "psychic"),
-        ("next_block_predictor", "coin"),
+        ("next_block_predictor", "coin"), ("hybrid_redelivery_limit", -1),
     ])
     def test_rejects_bad_values(self, field, value):
         with pytest.raises(ConfigError):
@@ -81,9 +81,29 @@ class TestSerialisation:
     silently drifts otherwise."""
 
     def test_to_dict_covers_every_field(self):
+        # Fields in _ELIDE_AT_DEFAULT are omitted at their default value
+        # (cache-key stability) and present otherwise; everything else is
+        # always present.
+        every = {f.name for f in dataclasses.fields(MachineConfig)}
         data = default_config().to_dict()
-        assert set(data) == {f.name for f in
-                             dataclasses.fields(MachineConfig)}
+        assert set(data) == every - MachineConfig._ELIDE_AT_DEFAULT
+        forced = default_config(hybrid_redelivery_limit=7).to_dict()
+        assert set(forced) == every
+
+    def test_elided_fields_restore_defaults(self):
+        config = default_config()
+        data = config.to_dict()
+        for name in MachineConfig._ELIDE_AT_DEFAULT:
+            assert name not in data
+        assert MachineConfig.from_dict(data) == config
+
+    def test_default_hash_pinned(self):
+        # The literal hash of the default config when the result cache was
+        # first populated.  If this changes, every cached sweep result is
+        # orphaned — add new config fields to _ELIDE_AT_DEFAULT instead of
+        # letting them into the default serialisation.
+        assert default_config().stable_hash() == (
+            "d248fa2fce1efff10005a35fcd093f403b21c04e71c03541db9467ca8d0cf838")
 
     def test_round_trip_default(self):
         config = default_config()
@@ -147,6 +167,7 @@ class TestSerialisation:
         base = default_config().stable_hash()
         assert default_config(max_frames=16).stable_hash() != base
         assert default_config(recovery="flush").stable_hash() != base
+        assert default_config(hybrid_redelivery_limit=9).stable_hash() != base
         latencies = dict(default_config().fu_latencies)
         latencies[OpClass.INT_MUL] += 1
         assert default_config(

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.tokens import BRANCH_DEST, Token, write_dest
-from repro.errors import SimulationError
 from repro.isa import ProgramBuilder
 from repro.uarch.config import default_config
 from repro.uarch.frame import Frame

@@ -15,9 +15,14 @@ def small_kernel():
 
 class TestRunner:
     def test_standard_points_complete(self):
-        assert set(POINT_ORDER) == set(STANDARD_POINTS)
+        # POINT_ORDER stays the original five-point table order; additive
+        # points (hybrid) are runnable by name but never reflow tables.
+        assert set(POINT_ORDER) <= set(STANDARD_POINTS)
+        assert POINT_ORDER == ["conservative", "aggressive", "storeset",
+                               "dsre", "oracle"]
         assert STANDARD_POINTS["dsre"] == ("aggressive", "dsre")
         assert STANDARD_POINTS["storeset"] == ("storeset", "flush")
+        assert STANDARD_POINTS["hybrid"] == ("aggressive", "hybrid")
 
     def test_run_point(self, small_kernel):
         result = run_point(small_kernel, "dsre")
@@ -74,6 +79,9 @@ class TestCli:
         assert cli_main(["list"]) == 0
         out = capsys.readouterr().out
         assert "e1" in out and "t2" in out
+        assert "recovery protocols" in out
+        for name in ("dsre", "flush", "hybrid"):
+            assert name in out
 
     def test_unknown_experiment(self, capsys):
         assert cli_main(["zzz"]) == 2

@@ -53,17 +53,11 @@ class TestMemorySemantics:
         assert state.get_reg(1) == 77
 
     def test_load_before_store_sees_old_value(self):
-        def body(b):
-            addr = b.const(0x1000)
-            b.write(1, b.load(addr))     # lsid 0
-            b.store(addr, b.movi(5))     # lsid 1
-        pb_prog = build_single_block(body)
         pb2 = ProgramBuilder(entry="m")
-        # rebuild with data segment
         b = pb2.block("m")
         addr = b.const(0x1000)
-        b.write(1, b.load(addr))
-        b.store(addr, b.movi(5))
+        b.write(1, b.load(addr))     # lsid 0
+        b.store(addr, b.movi(5))     # lsid 1
         b.branch("@halt")
         pb2.data_words("d", 0x1000, [9])
         _, state = run_program(pb2.build())

@@ -4,11 +4,13 @@ import pytest
 
 from repro.arch.memory import SparseMemory
 from repro.errors import SimulationError
-from repro.isa import Instruction, Opcode, ProgramBuilder
+from repro.isa import ProgramBuilder
 from repro.spec.policy import AggressivePolicy, ConservativePolicy
 from repro.uarch.cache import Cache
+from repro.uarch.config import default_config
 from repro.uarch.lsq import (Confirmed, LoadResponse, LoadStoreQueue,
                              MemKind, Violation)
+from repro.uarch.recovery import build_recovery
 
 
 def make_block(name, ops):
@@ -32,8 +34,9 @@ def make_block(name, ops):
 def make_lsq(policy=None, recovery="dsre", memory=None):
     memory = memory or SparseMemory()
     cache = Cache("d", 1024, 2, 64, hit_latency=2, miss_latency=50)
+    protocol = build_recovery(default_config(recovery=recovery))
     return LoadStoreQueue(memory, cache, policy or AggressivePolicy(),
-                          forward_latency=2, recovery=recovery), memory
+                          forward_latency=2, protocol=protocol), memory
 
 
 class TestRegistration:

@@ -3,7 +3,7 @@ commit rules of the DSRE protocol)."""
 
 import pytest
 
-from repro.core.node import InstructionNode, NodeState, OutcomeKind
+from repro.core.node import InstructionNode, OutcomeKind
 from repro.core.tokens import Token, inst_dest
 from repro.errors import SimulationError
 from repro.isa.instruction import Instruction, Slot

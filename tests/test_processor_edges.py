@@ -4,7 +4,6 @@ resource knobs, and statistics plumbing."""
 import pytest
 
 from repro.isa import ProgramBuilder
-from repro.uarch import Processor, default_config
 
 from .conftest import build_single_block, run_timing
 

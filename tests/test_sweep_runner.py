@@ -1,9 +1,7 @@
 """Tests for the batch execution layer: sweep plans, the parallel runner,
 the content-addressed result cache, and the always-on differential check."""
 
-import dataclasses
 import json
-import os
 
 import pytest
 

@@ -1,7 +1,6 @@
 """Unit tests for execution tiles (issue ordering, occupancy)."""
 
 from repro.core.node import InstructionNode
-from repro.core.tokens import Token, inst_dest
 from repro.isa.instruction import Instruction, Slot
 from repro.isa.opcodes import Opcode
 from repro.uarch.tile import ExecTile
