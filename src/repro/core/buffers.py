@@ -172,6 +172,17 @@ class TokenBuffer:
                  or old.value != effective.value),
                 all_final and not was_final)
 
+    def reset(self) -> None:
+        """Return to the just-constructed state (arena recycling).
+
+        The shared producer-order map is read-only and survives; only the
+        per-dynamic-instance token state is dropped, so a recycled buffer
+        is indistinguishable from a freshly built one.
+        """
+        self._latest.clear()
+        self._effective = EMPTY_EFFECTIVE
+        self._final = False
+
     # ------------------------------------------------------------------
 
     @property

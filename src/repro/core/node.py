@@ -105,7 +105,7 @@ class InstructionNode:
         "last_sent", "final_emitted", "lsq_value", "lsq_value_wave",
         "exec_useful", "last_lsq", "_buffer_list", "_sig_slots",
         "_buf_by_val", "_op0_buf", "_op1_buf", "_pred_buf", "_sig_cache",
-        "_plan", "_producer_key",
+        "_plan", "_producer_key", "life",
     )
 
     def __init__(self, frame_uid: int, index: int, inst: Instruction,
@@ -161,6 +161,7 @@ class InstructionNode:
         node._plan = plan
         node._producer_key = producer_key
         node._sig_cache = None
+        node.life = 0
         node.state = NodeState.IDLE
         node.exec_count = 0
         node.out_wave = 0
@@ -197,6 +198,10 @@ class InstructionNode:
         self._plan = _exec_plan(self.inst)
         self._producer_key = ("inst", self.index)
         self._sig_cache: Optional[IssueSignature] = None
+        #: Dynamic-instance generation counter for arena recycling: bumped
+        #: by every ``reset_for_reuse`` so stale tile-heap entries (tagged
+        #: with the life they were pushed under) are recognisably dead.
+        self.life = 0
         self.state = NodeState.IDLE
         self.exec_count = 0            # times through a functional unit
         self.out_wave = 0              # output generation counter
@@ -211,6 +216,36 @@ class InstructionNode:
         self.exec_useful = 0           # executions that produced non-null
         #: Last (addr, value, null, final) shipped to the LSQ (dedup).
         self.last_lsq: Optional[Tuple] = None
+
+    def reset_for_reuse(self, frame_uid: int) -> None:
+        """Return this node to its just-mapped state (arena recycling).
+
+        Mirrors exactly the mutable-state initialisation of
+        ``from_template``/``_finish_init``: everything a fresh node starts
+        with is restored, everything static (instruction, plan, producer
+        key, buffer wiring) is kept, and ``life`` is bumped so heap
+        entries pushed under the previous life are recognisably stale.
+        A recycled node must leak no state — asserted end-to-end by
+        ``tests/test_arena.py``.
+        """
+        self.frame_uid = frame_uid
+        self.life += 1
+        for buffer in self._buffer_list:
+            buffer._latest.clear()
+            buffer._effective = EMPTY_EFFECTIVE
+            buffer._final = False
+        self._sig_cache = None
+        self.state = NodeState.IDLE
+        self.exec_count = 0
+        self.out_wave = 0
+        self.issued_signature = None
+        self.last_outcome = None
+        self.last_sent = None
+        self.final_emitted = False
+        self.lsq_value = None
+        self.lsq_value_wave = 0
+        self.exec_useful = 0
+        self.last_lsq = None
 
     # ------------------------------------------------------------------
     # Input side

@@ -9,15 +9,18 @@ from .experiments import (EXPERIMENTS, e1_main, e2_window, e3_recovery_cost,
                           table_t2)
 from .parallel import (CellResult, ParallelRunner, arch_state_digest,
                        execute_cell)
+from .pool import (SweepMetrics, WorkerPool, golden_for, reset_golden_memo,
+                   run_cell_chunk)
 from .runner import (POINT_ORDER, STANDARD_POINTS, golden_of, run_point,
                      run_points)
 from .sweep import SweepCell, SweepPlan
 
 __all__ = [
     "EXPERIMENTS", "POINT_ORDER", "STANDARD_POINTS", "CellResult",
-    "ParallelRunner", "ResultCache", "SweepCell", "SweepPlan",
-    "arch_state_digest", "cache_key", "e1_main", "e2_window",
-    "e3_recovery_cost", "e4_policies", "e5_network", "e6_commit_wave",
-    "e7_conflict_sweep", "e8_storeset_ablation", "execute_cell",
-    "golden_of", "run_point", "run_points", "table_t1", "table_t2",
+    "ParallelRunner", "ResultCache", "SweepCell", "SweepMetrics",
+    "SweepPlan", "WorkerPool", "arch_state_digest", "cache_key", "e1_main",
+    "e2_window", "e3_recovery_cost", "e4_policies", "e5_network",
+    "e6_commit_wave", "e7_conflict_sweep", "e8_storeset_ablation",
+    "execute_cell", "golden_for", "golden_of", "reset_golden_memo",
+    "run_cell_chunk", "run_point", "run_points", "table_t1", "table_t2",
 ]

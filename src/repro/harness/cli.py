@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import os
 import sys
 import time
@@ -30,7 +31,7 @@ from typing import List, Optional
 
 from .cache import ResultCache
 from .experiments import EXPERIMENTS, table_t1
-from .parallel import ParallelRunner
+from .parallel import SESSION_METRICS_FILE, ParallelRunner
 
 
 def _run_one(name: str, fast: bool, runner: ParallelRunner,
@@ -42,6 +43,26 @@ def _run_one(name: str, fast: bool, runner: ParallelRunner,
     if kernels and "kernels" in inspect.signature(func).parameters:
         kwargs["kernels"] = kernels
     return func(**kwargs).render()
+
+
+def _print_session_metrics(root: str) -> None:
+    """Show the last session's sweep-redundancy counters, if recorded."""
+    path = os.path.join(root, SESSION_METRICS_FILE)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            m = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return
+    print("last session")
+    print(f"  plans / cells   {m.get('plans_run', 0)} plans, "
+          f"{m.get('cells_executed', 0)} simulated, "
+          f"{m.get('cells_from_cache', 0)} from cache "
+          f"in {m.get('wall_seconds', 0.0):.2f}s")
+    print(f"  golden runs     {m.get('golden_fresh_runs', 0)} fresh, "
+          f"{m.get('golden_memo_hits', 0)} memo hits "
+          f"({m.get('golden_runs_per_kernel', 0.0):.2f} per kernel)")
+    print(f"  worker pool     {m.get('pool_spinups', 0)} spinups, "
+          f"{m.get('pool_reuses', 0)} reuses")
 
 
 def _cache_command(args: List[str], root: str) -> int:
@@ -56,6 +77,7 @@ def _cache_command(args: List[str], root: str) -> int:
             print(f"stale/corrupt   {stats['stale_or_corrupt']}")
         for kernel, count in stats["per_kernel"].items():
             print(f"  {kernel:12s} {count}")
+        _print_session_metrics(root)
         return 0
     if args == ["clear"]:
         removed = cache.clear()
@@ -131,11 +153,14 @@ def main(argv: List[str] = None) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
 
-    for name in wanted:
-        start = time.time()
-        print(_run_one(name, fast=not args.full, runner=runner,
-                       kernels=kernels))
-        print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+    try:
+        for name in wanted:
+            start = time.time()
+            print(_run_one(name, fast=not args.full, runner=runner,
+                           kernels=kernels))
+            print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+    finally:
+        runner.close()
     print(f"[sweep: {runner.summary()}]")
 
     if profiler is not None:

@@ -5,16 +5,23 @@ and produces one :class:`CellResult` per cell, in plan order, by
 
 1. probing the :class:`~repro.harness.cache.ResultCache` (when attached)
    with the cell's content address,
-2. fanning the remaining cells out over a
-   ``concurrent.futures.ProcessPoolExecutor`` (``jobs`` workers; ``jobs=1``
-   runs everything in-process, deterministically, with no executor), and
+2. executing the remainder with **zero redundancy**: cells are grouped
+   into kernel-affine chunks (all machine points of a kernel in one
+   task) and fanned out over a persistent
+   :class:`~repro.harness.pool.WorkerPool` that survives across plans —
+   unless the remainder is smaller than ``jobs`` (or ``jobs=1``, or only
+   one kernel is left), in which case everything runs in-process and no
+   pool is ever spun up, and
 3. admitting fresh results to the cache.
 
-Every worker **re-runs the functional interpreter** and refuses to return
-a timing result whose final architectural state (registers + memory)
-differs from the golden model's — so the batch layer doubles as an
-always-on differential checker, and every cached record is a result that
-passed it.  Results carry only counters and digests (picklable and
+Each kernel's **golden run** — the functional-interpreter trace and
+final architectural state — is derived exactly once per process and
+memoised (:func:`~repro.harness.pool.golden_for`), then shared by every
+machine point of that kernel; the differential check still refuses to
+return a timing result whose final architectural state (registers +
+memory) differs from it, so the batch layer remains an always-on
+differential checker and every cached record is a result that passed it.
+Results carry only counters and digests (picklable and
 JSON-serialisable), never live simulator objects.
 """
 
@@ -22,10 +29,11 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..arch.interp import run_program
 from ..arch.state import ArchState
@@ -39,8 +47,22 @@ from ..uarch.predictor import PredictorStats
 from ..uarch.processor import Processor, SimResult
 from ..workloads.common import KernelInstance
 from .cache import SCHEMA_VERSION, ResultCache, cache_key
+from .pool import SweepMetrics, WorkerPool, golden_for, run_cell_chunk
 from .runner import POINT_ORDER
 from .sweep import SweepCell, SweepPlan
+
+#: Where the runner drops the latest sweep metrics inside the cache root.
+#: It is not a content-addressed record (no 2-hex shard directory), so
+#: ``ResultCache.entries``/``clear``/``stats`` never see it.
+SESSION_METRICS_FILE = "session.json"
+
+
+def _available_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:                       # platforms without it
+        return os.cpu_count() or 1
 
 
 def _counters_to_dict(obj) -> Dict[str, int]:
@@ -91,10 +113,10 @@ class CellResult:
 # ----------------------------------------------------------------------
 
 def _simulate(instance: KernelInstance, config: MachineConfig,
-              golden) -> SimResult:
+              golden, frame_arena: Optional[dict] = None) -> SimResult:
     """One timing simulation (separable so tests can fault-inject)."""
     processor = Processor(instance.program, config, instance.initial_regs,
-                          golden=golden)
+                          golden=golden, frame_arena=frame_arena)
     return processor.run()
 
 
@@ -119,19 +141,28 @@ def _differential_problems(golden_state: ArchState,
     return problems
 
 
-def execute_cell(cell: SweepCell) -> dict:
-    """Run one cell from scratch and return its cache record.
+def execute_cell(cell: SweepCell, golden: Optional[Tuple] = None,
+                 frame_arena: Optional[dict] = None) -> dict:
+    """Run one cell and return its cache record.
 
-    Re-runs the functional interpreter, runs the timing simulation, then
-    asserts the architectural results match (the differential check) and
-    that the kernel's own expectations hold.  Raises
-    :class:`GoldenMismatchError` — never returns — on divergence.
+    Runs the timing simulation against the kernel's golden run — the
+    functional-interpreter ``(trace, final state)`` pair, derived here
+    when ``golden`` is not supplied by the caller's memo — then asserts
+    the architectural results match (the differential check) and that
+    the kernel's own expectations hold.  Raises
+    :class:`GoldenMismatchError` — never returns — on divergence.  The
+    golden pair is only read, so one pair is safely shared by every
+    machine point of a kernel.  ``frame_arena`` (optional, one dict per
+    *program object*) likewise carries parked frames from one machine
+    point of a kernel to the next, so only the first cell pays the
+    window's frame construction.
     """
     instance = cell.instance
     config = cell.config()
-    golden_trace, golden_state = run_program(instance.program,
-                                             instance.initial_regs)
-    result = _simulate(instance, config, golden_trace)
+    if golden is None:
+        golden = run_program(instance.program, instance.initial_regs)
+    golden_trace, golden_state = golden
+    result = _simulate(instance, config, golden_trace, frame_arena)
     problems = _differential_problems(golden_state, result.arch)
     if problems:
         raise GoldenMismatchError(
@@ -160,11 +191,6 @@ def execute_cell(cell: SweepCell) -> dict:
     }
 
 
-def _worker(cell: SweepCell) -> dict:
-    """Process-pool entry point: prune the golden memo and execute."""
-    return execute_cell(cell)
-
-
 def result_from_record(record: dict, from_cache: bool) -> CellResult:
     """Rebuild a :class:`CellResult` from a cache/worker record."""
     payload = record["result"]
@@ -189,31 +215,60 @@ def result_from_record(record: dict, from_cache: bool) -> CellResult:
 # ----------------------------------------------------------------------
 
 class ParallelRunner:
-    """Executes sweep plans across worker processes, through a cache.
+    """Executes sweep plans through a cache and a persistent worker pool.
 
     ``jobs=1`` (the deterministic fallback) runs every cell in-process in
-    plan order; ``jobs>1`` fans un-cached cells out over a process pool.
-    Either way the returned list is in plan order and — because each cell
-    is an isolated, deterministic simulation — bit-identical across job
-    counts.
+    plan order; ``jobs>1`` — clamped to the host's schedulable cores
+    (``effective_jobs``), since oversubscribing pure-CPU simulations only
+    adds fork/IPC overhead — fans un-cached cells out as kernel-affine
+    chunks over a :class:`WorkerPool` that is spun up at most once and
+    reused by every subsequent plan — unless the post-cache remainder is
+    smaller than ``effective_jobs`` (or spans a single kernel), in which
+    case the remainder runs in-process and no pool is created at all (a
+    pool that already exists, warm or caller-supplied, is always used:
+    its workers hold warm golden memos).  Either way
+    the returned list is in plan order and — because each cell is an
+    isolated, deterministic simulation — bit-identical across job counts.
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 cache: Optional[ResultCache] = None):
+                 cache: Optional[ResultCache] = None,
+                 pool: Optional[WorkerPool] = None):
         self.jobs = int(jobs) if jobs is not None else (os.cpu_count() or 1)
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        #: Worker processes that can actually run concurrently.  Asking
+        #: for more jobs than schedulable cores only adds fork/IPC
+        #: overhead (the simulations are pure CPU), so oversubscription
+        #: is clamped away and a single-core host runs in-process — the
+        #: golden memo makes that path zero-redundancy too.
+        self.effective_jobs = max(1, min(self.jobs, _available_cores()))
         self.cache = cache
         #: Counters merged across every cell this runner has produced
         #: (cached or fresh) — the whole-session aggregate.
         self.merged_stats = SimStats()
         self.cells_executed = 0
         self.cells_from_cache = 0
+        #: The persistent pool; created lazily on the first plan that
+        #: needs one, then reused until :meth:`close`.
+        self.pool = pool
+        self._owns_pool = pool is None
+        #: Session-level redundancy accounting (across all plans).
+        self.plans_run = 0
+        self.wall_seconds = 0.0
+        self.kernels_executed = 0
+        self.golden_fresh = 0
+        self.golden_memo_hits = 0
+        self.pool_reuses = 0
+        #: Metrics of the most recent :meth:`run_plan` call.
+        self.last_metrics: Optional[SweepMetrics] = None
 
     # -- plan execution -------------------------------------------------
 
     def run_plan(self, plan: Iterable[SweepCell]) -> List[CellResult]:
+        started = time.perf_counter()
         cells = list(plan)
+        digests = [cell.instance.identity_digest() for cell in cells]
         results: List[Optional[CellResult]] = [None] * len(cells)
         keys: List[Optional[str]] = [None] * len(cells)
         pending: List[int] = []
@@ -221,7 +276,7 @@ class ParallelRunner:
         for index, cell in enumerate(cells):
             config = cell.config()
             if self.cache is not None:
-                key = cache_key(cell.instance.identity_digest(), config)
+                key = cache_key(digests[index], config)
                 keys[index] = key
                 record = self.cache.load(key)
                 if record is not None:
@@ -230,8 +285,7 @@ class ParallelRunner:
                     continue
             pending.append(index)
 
-        for index, record in zip(pending, self._execute(
-                [cells[i] for i in pending])):
+        for index, record in self._execute(cells, digests, pending):
             if self.cache is not None:
                 self.cache.store(keys[index], record)
             results[index] = result_from_record(record, from_cache=False)
@@ -242,24 +296,169 @@ class ParallelRunner:
                 self.cells_from_cache += 1
             else:
                 self.cells_executed += 1
+        self._account_plan(len(cells), len(pending),
+                           time.perf_counter() - started)
         return results
 
-    def _execute(self, cells: List[SweepCell]) -> List[dict]:
-        if not cells:
+    def _execute(self, cells: List[SweepCell], digests: List[str],
+                 pending: List[int]) -> List[Tuple[int, dict]]:
+        """Run the un-cached cells; yields ``(plan_index, record)``.
+
+        Also fills the per-plan redundancy counters consumed by
+        :meth:`_account_plan`.
+        """
+        self._plan_golden_fresh = 0
+        self._plan_golden_hits = 0
+        self._plan_pooled = False
+        if not pending:
+            self._plan_kernels = 0
             return []
-        if self.jobs == 1 or len(cells) == 1:
-            return [execute_cell(cell) for cell in cells]
-        payloads = [self._pruned(cell) for cell in cells]
-        workers = min(self.jobs, len(cells))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_worker, payloads))
+
+        # Kernel-affine grouping: one chunk per identity digest, chunks
+        # and their members both in plan order.
+        groups: Dict[str, List[int]] = {}
+        for index in pending:
+            groups.setdefault(digests[index], []).append(index)
+        self._plan_kernels = len(groups)
+
+        # In-process fast path: nothing to gain from a pool when the
+        # effective job count is 1 (requested, or clamped to the host's
+        # schedulable cores), the remainder is smaller than it, or it
+        # spans one kernel.  An existing pool (warm from an earlier plan,
+        # or supplied by the caller) is always used: its workers hold
+        # warm golden memos.
+        effective = self.effective_jobs
+        if self.pool is None and (effective == 1
+                                  or len(pending) < effective
+                                  or len(groups) == 1):
+            out = []
+            arenas: Dict[int, dict] = {}
+            for index in pending:
+                instance = cells[index].instance
+                golden, fresh = golden_for(instance, digests[index])
+                if fresh:
+                    self._plan_golden_fresh += 1
+                else:
+                    self._plan_golden_hits += 1
+                # One frame arena per program *object* (identity, not
+                # digest): frames parked by one machine point are reused
+                # by the kernel's next point, and a frame's block
+                # references always belong to the running program.
+                arena = arenas.setdefault(id(instance.program), {})
+                out.append((index, execute_cell(cells[index], golden=golden,
+                                                frame_arena=arena)))
+            return out
+
+        # Pooled path: one task per kernel so each worker derives (or
+        # memo-hits) that kernel's golden run exactly once.  Bigger
+        # chunks are submitted first (LPT-style) so the last task to
+        # finish is a small one; chunks are never split — that would
+        # re-introduce redundant golden runs.
+        shared: Dict[int, KernelInstance] = {}
+        chunks = [[(index, self._pruned(cells[index], shared))
+                   for index in members]
+                  for members in groups.values()]
+        chunks.sort(key=lambda chunk: (-len(chunk), chunk[0][0]))
+        self._plan_pooled = True
+        if self.pool is None:
+            self.pool = WorkerPool(self.effective_jobs)
+        if self.pool.warm:
+            self.pool_reuses += 1
+        out = []
+        for payload in self.pool.run(run_cell_chunk, chunks):
+            out.extend(payload["records"])
+            self._plan_golden_fresh += payload["golden_fresh"]
+            self._plan_golden_hits += payload["golden_hits"]
+        return out
 
     @staticmethod
-    def _pruned(cell: SweepCell) -> SweepCell:
-        """A copy whose instance drops the golden memo (lean pickles)."""
-        instance = dataclasses.replace(cell.instance)
+    def _pruned(cell: SweepCell,
+                shared: Dict[int, KernelInstance]) -> SweepCell:
+        """A copy whose instance drops the golden memo (lean pickles).
+
+        ``shared`` maps ``id(original instance)`` to its pruned copy so
+        cells of one kernel keep *sharing* one instance object — the
+        pool pickles each chunk's program exactly once.
+        """
+        instance = shared.get(id(cell.instance))
+        if instance is None:
+            instance = dataclasses.replace(cell.instance)
+            shared[id(cell.instance)] = instance
         return SweepCell(instance, cell.point, dict(cell.overrides),
                          cell.base)
+
+    # -- metrics --------------------------------------------------------
+
+    def _account_plan(self, cells: int, executed: int,
+                      wall: float) -> None:
+        kernels = self._plan_kernels
+        fresh = self._plan_golden_fresh
+        self.plans_run += 1
+        self.wall_seconds += wall
+        self.kernels_executed += kernels
+        self.golden_fresh += fresh
+        self.golden_memo_hits += self._plan_golden_hits
+        self.last_metrics = SweepMetrics(
+            cells=cells,
+            executed=executed,
+            from_cache=cells - executed,
+            wall_seconds=wall,
+            cells_per_sec=cells / wall if wall > 0 else 0.0,
+            kernels_executed=kernels,
+            golden_fresh_runs=fresh,
+            golden_memo_hits=self._plan_golden_hits,
+            golden_runs_per_kernel=fresh / kernels if kernels else 0.0,
+            pooled=self._plan_pooled,
+            pool_spinups=self.pool.spinups if self.pool else 0,
+            pool_reuses=self.pool_reuses,
+        )
+        self._write_session_metrics()
+
+    def _write_session_metrics(self) -> None:
+        """Drop the session's sweep metrics next to the cache shards.
+
+        Best-effort and never content-addressed: ``cli cache stats``
+        reads it back to show the last session's redundancy counters.
+        """
+        if self.cache is None:
+            return
+        payload = {
+            "plans_run": self.plans_run,
+            "cells_executed": self.cells_executed,
+            "cells_from_cache": self.cells_from_cache,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "kernels_executed": self.kernels_executed,
+            "golden_fresh_runs": self.golden_fresh,
+            "golden_memo_hits": self.golden_memo_hits,
+            "golden_runs_per_kernel": round(
+                self.golden_fresh / self.kernels_executed, 4)
+                if self.kernels_executed else 0.0,
+            "pool_spinups": self.pool.spinups if self.pool else 0,
+            "pool_reuses": self.pool_reuses,
+            "last_plan": self.last_metrics.as_dict(),
+        }
+        try:
+            os.makedirs(self.cache.root, exist_ok=True)
+            path = os.path.join(self.cache.root, SESSION_METRICS_FILE)
+            tmp = path + f".tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True, indent=2)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the worker pool (if this runner created one)."""
+        if self._owns_pool and self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- single-cell conveniences --------------------------------------
 
@@ -290,4 +489,13 @@ class ParallelRunner:
             parts.append(f"cache {s.hits} hits / {s.misses} misses"
                          + (f" / {s.corrupt} corrupt" if s.corrupt else ""))
         parts.append(f"{self.merged_stats.cycles} cycles simulated")
+        if self.wall_seconds > 0:
+            total = self.cells_executed + self.cells_from_cache
+            parts.append(f"{total / self.wall_seconds:.1f} cells/s")
+        if self.kernels_executed:
+            parts.append("golden runs/kernel "
+                         f"{self.golden_fresh / self.kernels_executed:.2f}")
+        if self.pool is not None:
+            parts.append(f"pool {self.pool.spinups} spinups / "
+                         f"{self.pool_reuses} reuses")
         return ", ".join(parts)

@@ -1,0 +1,238 @@
+"""Persistent worker pool, kernel-affine chunking, and golden memoisation.
+
+PR 1's batch layer made sweeps parallel and cached, but left two sources
+of redundant work on the *uncached* path: every cell re-ran the functional
+interpreter (so a 6-point grid paid for each kernel's golden trace six
+times, in six different processes), and every ``run_plan`` call built and
+tore down a fresh ``ProcessPoolExecutor``.  This module removes both:
+
+* :class:`WorkerPool` — a reusable process pool that is spun up at most
+  once per session, survives across consecutive plans, and transparently
+  respawns after a worker death (``BrokenProcessPool`` tasks are
+  resubmitted to a fresh executor, bounded by ``max_respawns``).
+* **Kernel-affine chunks** — the runner groups a plan's un-cached cells
+  by :meth:`KernelInstance.identity_digest` and submits one task per
+  kernel (:func:`run_cell_chunk`), so every machine point of a kernel
+  executes on the same worker in one task and shares one golden run.
+* **Golden memo** — a per-process memo (:func:`golden_for`) keyed on the
+  identity digest, holding the golden :class:`ExecutionTrace` *and* the
+  golden final :class:`ArchState`.  Workers keep it across chunks and
+  across plans, so a kernel that reappears in a later experiment costs
+  zero additional golden runs on a warm worker.
+
+Every piece is behavior-preserving: the memo key is the same content
+digest that addresses the result cache, and a chunk's records are
+scattered back into plan order, so tables stay byte-identical for every
+``jobs`` value and cache state.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..arch.interp import run_program
+from ..arch.state import ArchState
+from ..arch.trace import ExecutionTrace
+from ..errors import SimulationError
+
+#: (trace, final state) per identity digest.  One entry per kernel that
+#: this *process* has interpreted; workers inherit a snapshot on fork and
+#: grow their own copy from there.
+_GOLDEN_MEMO: "OrderedDict[str, Tuple[ExecutionTrace, ArchState]]" = \
+    OrderedDict()
+
+#: Memo capacity: a full evaluation touches ~20 distinct kernels; the cap
+#: only matters for very long interactive sessions over many synthetic
+#: programs.
+_GOLDEN_MEMO_CAP = 64
+
+
+def golden_for(instance, digest: Optional[str] = None,
+               ) -> Tuple[Tuple[ExecutionTrace, ArchState], bool]:
+    """The golden (trace, final state) for ``instance``, memoised.
+
+    Returns ``(golden, fresh)`` where ``fresh`` says whether this call
+    actually ran the functional interpreter.  The memo key is
+    :meth:`KernelInstance.identity_digest` — the same content digest the
+    result cache is addressed by — so two instances with equal digests
+    share one golden run and a mutated instance misses cleanly.  Callers
+    that already derived the digest (the runner computes one per cell
+    for cache probing and chunk grouping) pass it in to skip re-encoding
+    the program.
+    """
+    if digest is None:
+        digest = instance.identity_digest()
+    memo = _GOLDEN_MEMO
+    golden = memo.get(digest)
+    if golden is not None:
+        memo.move_to_end(digest)
+        return golden, False
+    golden = run_program(instance.program, instance.initial_regs)
+    memo[digest] = golden
+    while len(memo) > _GOLDEN_MEMO_CAP:
+        memo.popitem(last=False)
+    return golden, True
+
+
+def reset_golden_memo() -> None:
+    """Drop every memoised golden run (tests and cold benchmarks)."""
+    _GOLDEN_MEMO.clear()
+
+
+def run_cell_chunk(chunk: Sequence) -> dict:
+    """Worker entry point: run one kernel's cells against one golden run.
+
+    ``chunk`` is a list of ``(plan_index, cell)`` pairs whose cells all
+    share one identity digest (the runner guarantees this), so the golden
+    trace/state pair is derived once — from the per-worker memo when the
+    kernel was seen before — and shared by every simulation in the task.
+    Returns the indexed records plus redundancy accounting.
+    """
+    # Imported here: repro.harness.parallel imports this module at top
+    # level (the runner owns a WorkerPool), so the reverse import must be
+    # deferred until the worker actually executes a chunk.
+    from .parallel import execute_cell
+
+    digests = {cell.instance.identity_digest() for _, cell in chunk}
+    if len(digests) != 1:
+        raise SimulationError(
+            f"kernel-affine chunk spans {len(digests)} identity digests")
+    digest = next(iter(digests))
+    golden_fresh = 0
+    golden_hits = 0
+    records = []
+    arenas: Dict[int, dict] = {}
+    for index, cell in chunk:
+        golden, fresh = golden_for(cell.instance, digest)
+        if fresh:
+            golden_fresh += 1
+        else:
+            golden_hits += 1
+        # Per-program-object frame arena: the chunk's machine points
+        # hand their retired frames to the next point's processor.
+        arena = arenas.setdefault(id(cell.instance.program), {})
+        records.append((index, execute_cell(cell, golden=golden,
+                                            frame_arena=arena)))
+    return {
+        "records": records,
+        "pid": os.getpid(),
+        "golden_fresh": golden_fresh,
+        "golden_hits": golden_hits,
+    }
+
+
+class WorkerPool:
+    """A process pool that outlives individual plans.
+
+    The executor is created lazily on the first :meth:`run` and reused by
+    every subsequent call until :meth:`close`; ``spinups`` counts how many
+    executors were ever built (1 for a healthy session).  A worker death
+    breaks a ``ProcessPoolExecutor`` wholesale, so :meth:`run` collects
+    the tasks whose futures failed with :class:`BrokenProcessPool`,
+    tears the executor down, and resubmits them to a fresh one — at most
+    ``max_respawns`` times, after which the breakage propagates.
+    """
+
+    def __init__(self, jobs: int, max_respawns: int = 2):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.max_respawns = max_respawns
+        self.spinups = 0
+        self.broken_recoveries = 0
+        self.tasks_run = 0
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+            self.spinups += 1
+        return self._executor
+
+    @property
+    def warm(self) -> bool:
+        """True once an executor exists (the next plan reuses it)."""
+        return self._executor is not None
+
+    def run(self, fn: Callable, tasks: Sequence) -> List:
+        """Run ``fn`` over ``tasks``; results in task order.
+
+        Tasks lost to a dead worker are retried on a respawned executor;
+        any other exception from ``fn`` propagates unchanged.
+        """
+        results: List = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        respawns = 0
+        while pending:
+            executor = self._ensure()
+            futures = [(i, executor.submit(fn, tasks[i])) for i in pending]
+            broken: List[int] = []
+            for i, future in futures:
+                try:
+                    results[i] = future.result()
+                except BrokenProcessPool:
+                    broken.append(i)
+            if broken:
+                respawns += 1
+                if respawns > self.max_respawns:
+                    raise BrokenProcessPool(
+                        f"worker pool broke {respawns} times; giving up "
+                        f"on {len(broken)} tasks")
+                self.close()
+                self.broken_recoveries += 1
+            pending = broken
+        self.tasks_run += len(tasks)
+        return results
+
+    def close(self) -> None:
+        """Shut the executor down (a later :meth:`run` re-spins)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class SweepMetrics:
+    """Sweep-level redundancy and wall-clock accounting for one plan."""
+
+    cells: int                   # cells in the plan
+    executed: int                # simulated fresh (cache misses)
+    from_cache: int              # served by the result cache
+    wall_seconds: float          # run_plan wall-clock
+    cells_per_sec: float         # cells / wall_seconds
+    kernels_executed: int        # distinct identity digests simulated
+    golden_fresh_runs: int       # functional-interpreter runs actually paid
+    golden_memo_hits: int        # golden requests served by a memo
+    golden_runs_per_kernel: float  # fresh runs / distinct kernels (<= 1.0)
+    pooled: bool                 # True if a process pool executed cells
+    pool_spinups: int            # executors ever built (session total)
+    pool_reuses: int             # plans served by an already-warm pool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "cells": self.cells,
+            "executed": self.executed,
+            "from_cache": self.from_cache,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "cells_per_sec": round(self.cells_per_sec, 2),
+            "kernels_executed": self.kernels_executed,
+            "golden_fresh_runs": self.golden_fresh_runs,
+            "golden_memo_hits": self.golden_memo_hits,
+            "golden_runs_per_kernel": round(self.golden_runs_per_kernel, 4),
+            "pooled": self.pooled,
+            "pool_spinups": self.pool_spinups,
+            "pool_reuses": self.pool_reuses,
+        }

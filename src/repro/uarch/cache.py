@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, Optional
 
 
 @dataclass
@@ -42,12 +42,19 @@ class Cache:
         #: (i.e. DRAM time).
         self.miss_latency = miss_latency
         self.stats = CacheStats()
-        self._sets: List[OrderedDict] = [OrderedDict()
-                                         for _ in range(self.n_sets)]
+        #: Set index -> LRU-ordered resident lines.  Allocated lazily on
+        #: first touch: a short run references a handful of sets, so
+        #: building every set eagerly (hundreds for an L2) is pure
+        #: constructor overhead on cold sweeps.
+        self._sets: Dict[int, OrderedDict] = {}
 
     def _locate(self, addr: int):
         line_addr = addr // self.line
-        return self._sets[line_addr % self.n_sets], line_addr
+        index = line_addr % self.n_sets
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = self._sets[index] = OrderedDict()
+        return cache_set, line_addr
 
     def access(self, addr: int, is_write: bool = False) -> int:
         """Access one address; returns total latency in cycles."""
@@ -68,12 +75,12 @@ class Cache:
         return self.hit_latency + below
 
     def contains(self, addr: int) -> bool:
-        cache_set, line_addr = self._locate(addr)
-        return line_addr in cache_set
+        line_addr = addr // self.line
+        cache_set = self._sets.get(line_addr % self.n_sets)
+        return cache_set is not None and line_addr in cache_set
 
     def flush(self) -> None:
-        for cache_set in self._sets:
-            cache_set.clear()
+        self._sets.clear()
         self.stats = CacheStats()
 
 

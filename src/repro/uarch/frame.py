@@ -114,6 +114,39 @@ class Frame:
 
     # ------------------------------------------------------------------
 
+    def reset_for_reuse(self, uid: int, seq: int) -> None:
+        """Rebind a retired frame to a new dynamic block instance.
+
+        The invariant — *recycled frames leak no state* — means every
+        mutable field a fresh ``__init__`` would build is restored here:
+        node state machines and their token buffers, write/branch buffers,
+        forwarding records, subscriber lists, read wiring, and prediction
+        bookkeeping.  Shared read-only template structures (node plans,
+        producer orders, index dicts) are kept, which is the entire point
+        of recycling.  ``tests/test_arena.py`` asserts byte-identical
+        results against fresh allocation for every recovery protocol.
+        """
+        self.uid = uid
+        self.seq = seq
+        for node in self.nodes:
+            node.reset_for_reuse(uid)
+        for buffer in self.write_buffers:
+            buffer.reset()
+        write_count = len(self.write_forwarded)
+        self.write_forwarded = [None] * write_count
+        self.write_fwd_wave = [0] * write_count
+        for subs in self.subscribers:
+            subs.clear()
+        self.branch_buffer.reset()
+        self.read_sources = []
+        for fwd in self.read_forwards:
+            fwd.wave = 0
+            fwd.value = None
+            fwd.final = False
+        self.predicted_next = None
+        self.fetched_next = None
+        self.mapped_cycle = 0
+
     def node_of_lsid(self, lsid: int) -> InstructionNode:
         return self.nodes[self.lsid_to_index[lsid]]
 

@@ -48,6 +48,12 @@ from .predictor import build_predictor
 from .recovery import build_recovery
 from .tile import ExecTile
 
+#: Arena bounds: retired frames kept per block, and pooled Token/Message
+#: shells overall.  Both caps only bound memory held between bursts — a
+#: miss simply falls back to fresh allocation.
+_FRAME_ARENA_CAP = 8
+_SHELL_POOL_CAP = 512
+
 
 @dataclass(slots=True)
 class LoadReqPayload:
@@ -137,7 +143,9 @@ class Processor:
                  config: Optional[MachineConfig] = None,
                  initial_regs: Optional[Dict[int, int]] = None,
                  golden: Optional[ExecutionTrace] = None,
-                 max_blocks: int = 1_000_000):
+                 max_blocks: int = 1_000_000,
+                 recycle_frames: bool = True,
+                 frame_arena: Optional[Dict[str, List["Frame"]]] = None):
         self.config = config or default_config()
         self.config.validate()
         program.validate()
@@ -210,6 +218,30 @@ class Processor:
         #: consumed (and cleared) by the next ``_advance_cycle`` so the
         #: scan runs once per loop iteration, not twice.
         self._next_event_memo: Optional[int] = None
+        #: Arena recycling (behavior-preserving; a ctor flag rather than
+        #: a MachineConfig field so cache keys and ``stable_hash`` stay
+        #: untouched).  Retired frames park in a per-block free list and
+        #: are reset-on-reuse in ``_map_frame``; Token/Message shells
+        #: freed by ``_deliver_messages`` feed ``_send_tokens``.  Stale
+        #: tile-heap entries are life-guarded, never scrubbed, so event
+        #: timing is identical to fresh allocation.  The arena may be
+        #: supplied by the caller to share parked frames across the
+        #: machine points of one kernel (the harness passes one arena per
+        #: *program object*, so a frame's ``block`` reference is always a
+        #: block of the running program); ``reset_for_reuse`` restores
+        #: every mutable field, so cross-processor reuse is as clean as
+        #: same-run reuse.
+        self._recycle = recycle_frames
+        self._frame_arena: Dict[str, List[Frame]] = (
+            frame_arena if frame_arena is not None else {})
+        self._token_pool: List[Token] = []
+        self._msg_pool: List[Message] = []
+        #: Recycling counters (plain attributes — SimStats is pinned by
+        #: the cache record layout).
+        self.frames_allocated = 0
+        self.frames_recycled = 0
+        self.tokens_recycled = 0
+        self.messages_recycled = 0
 
     def attach_hooks(self, hooks: Optional[EventHooks]) -> None:
         """Install (or with ``None``, remove) the structured event sink."""
@@ -350,12 +382,17 @@ class Processor:
         load_req_kind = MsgKind.LOAD_REQ
         store_upd_kind = MsgKind.STORE_UPD
         load_resp_kind = MsgKind.LOAD_RESP
+        recycle = self._recycle
+        token_pool = self._token_pool
+        msg_pool = self._msg_pool
+        pool_cap = _SHELL_POOL_CAP
         while heap and heap[0][0] <= now:
             arrive, seq, msg = pop(heap)
             dest = msg.dest
             used = port_use.get(dest, 0)
             if used >= bandwidth:
                 stats.contention_slips += 1
+                # Requeued shells stay live — only dispatched ones free.
                 push(heap, (now + 1, seq, msg))
                 continue
             port_use[dest] = used + 1
@@ -366,6 +403,11 @@ class Processor:
                 hooks.on_deliver(now, kind.name)
             if kind is token_kind:
                 self._deliver_token(msg.payload)
+                # Handlers copy token fields out (TokenBuffer.deposit
+                # retains scalars, never the Token), so after dispatch
+                # both shells are free for reuse by ``_send_tokens``.
+                if recycle and len(token_pool) < pool_cap:
+                    token_pool.append(msg.payload)
             elif kind is load_req_kind:
                 self._deliver_load_req(msg.payload)
             elif kind is store_upd_kind:
@@ -374,6 +416,8 @@ class Processor:
                 self._deliver_load_resp(msg.payload)
             else:
                 self._deliver_reg_fwd(msg.payload)
+            if recycle and len(msg_pool) < pool_cap:
+                msg_pool.append(msg)
 
     def _deliver_token(self, token: Token) -> None:
         frame = self.frames_by_uid.get(token.frame_uid)
@@ -513,17 +557,38 @@ class Processor:
         seq = network._seq
         push = heapq.heappush
         token_kind = MsgKind.TOKEN
+        token_pool = self._token_pool
+        msg_pool = self._msg_pool
         for dest_key, coord in plan:
             routed = route_cache.get((src, coord))
             if routed is None:
                 routed = route_latency(src, coord)
                 route_cache[(src, coord)] = routed
             seq += 1
-            push(heap, (now + (routed if routed > 1 else 1), seq,
-                        Message(token_kind, coord,
-                                Token(uid, dest_key, producer, wave, value,
-                                      final),
-                                final)))
+            # Shell reuse: Token/Message objects freed by the delivery
+            # sweep are refilled field-by-field — cheaper than the
+            # dataclass constructors on the hottest allocation site.
+            if token_pool:
+                token = token_pool.pop()
+                token.frame_uid = uid
+                token.dest = dest_key
+                token.producer = producer
+                token.wave = wave
+                token.value = value
+                token.final = final
+                self.tokens_recycled += 1
+            else:
+                token = Token(uid, dest_key, producer, wave, value, final)
+            if msg_pool:
+                msg = msg_pool.pop()
+                msg.kind = token_kind
+                msg.dest = coord
+                msg.payload = token
+                msg.final = final
+                self.messages_recycled += 1
+            else:
+                msg = Message(token_kind, coord, token, final)
+            push(heap, (now + (routed if routed > 1 else 1), seq, msg))
         network._seq = seq
 
     def _send_branch_token(self, frame: Frame, node: InstructionNode,
@@ -539,15 +604,17 @@ class Processor:
     # ==================================================================
 
     def _enqueue(self, frame: Frame, node: InstructionNode) -> None:
-        # Inline ``ExecTile.enqueue`` (identity dedup + heap push).
+        # Inline ``ExecTile.enqueue`` (life-keyed dedup + heap push).
         tile_index = self._inst_tile[node.index]
         tile = self.tiles[tile_index]
         queued = tile._queued
-        if node not in queued:
-            queued.add(node)
+        life = node.life
+        if queued.get(node) != life:
+            queued[node] = life
             tile._push_seq += 1
             heapq.heappush(tile._ready,
-                           (frame.seq, node.index, tile._push_seq, node))
+                           (frame.seq, node.index, tile._push_seq, node,
+                            life))
         self._active_tiles.add(tile_index)
 
     def _on_node_event(self, frame: Frame, node: InstructionNode) -> None:
@@ -604,7 +671,13 @@ class Processor:
             tile = self.tiles[index]
             executing = tile._executing
             while executing and executing[0][0] <= now:
-                node = pop(executing)[2]
+                entry = pop(executing)
+                node = entry[2]
+                # Life guard first: a recycled node's new uid is live, so
+                # only the generation tag identifies its previous life's
+                # leftover entries.
+                if entry[3] != node.life:
+                    continue
                 frame = frames_by_uid.get(node.frame_uid)
                 if frame is None:
                     continue
@@ -622,8 +695,15 @@ class Processor:
                 width = tile.issue_width
                 issued = 0
                 while ready and issued < width:
-                    node = pop(ready)[3]
-                    queued.discard(node)
+                    entry = pop(ready)
+                    node = entry[3]
+                    life = entry[4]
+                    if life != node.life:
+                        # Stale entry of a recycled node; the current
+                        # life's dedup membership must survive it.
+                        continue
+                    if queued.get(node) == life:
+                        del queued[node]
                     if node.frame_uid not in frames_by_uid:
                         continue
                     # Inline ``can_issue`` + ``_begin_issued`` (computing
@@ -646,7 +726,7 @@ class Processor:
                             latency = latency_fn(node)
                         tile._push_seq += 1
                         push(executing,
-                             (now + latency, tile._push_seq, node))
+                             (now + latency, tile._push_seq, node, life))
                         issued += 1
                         if hooks is not None:
                             hooks.on_issue(now, node.frame_uid, node.index,
@@ -876,7 +956,21 @@ class Processor:
         self.next_uid += 1
         seq = self.fetch_seq
         self.fetch_seq += 1
-        frame = Frame(uid, seq, block, self.config)
+        arena = self._frame_arena.get(name)
+        if arena:
+            # Reset-on-reuse: the retired frame parked with its old state;
+            # reset_for_reuse restores exactly what a fresh __init__ would
+            # build (and bumps node lives so old heap entries stay dead).
+            frame = arena.pop()
+            frame.reset_for_reuse(uid, seq)
+            # A shared arena can hand back a frame parked by a previous
+            # machine point of this kernel; rebind its config so the
+            # field stays honest (nothing reads it on the hot path).
+            frame.config = self.config
+            self.frames_recycled += 1
+        else:
+            frame = Frame(uid, seq, block, self.config)
+            self.frames_allocated += 1
         frame.mapped_cycle = self.cycle
         if self.frames:
             self.frames[-1].fetched_next = name
@@ -935,6 +1029,23 @@ class Processor:
                                               self._control_coord,
                                               payload, forwarded[1]))
 
+    def _retire_frame(self, frame: Frame) -> None:
+        """Park a dead (committed or squashed) frame in the block arena.
+
+        The frame keeps its stale state until ``_map_frame`` reuses it —
+        reset is paid on reuse, not on retirement, and leftover tile-heap
+        entries keep being skipped exactly as dead-frame entries always
+        were (by uid until the reset, by life afterwards).  Recovery
+        protocols hold frames only by uid (docs/PROTOCOL.md), so parking
+        the object is safe the moment it leaves ``frames_by_uid``.
+        """
+        if self._recycle:
+            arena = self._frame_arena.get(frame.block.name)
+            if arena is None:
+                arena = self._frame_arena[frame.block.name] = []
+            if len(arena) < _FRAME_ARENA_CAP:
+                arena.append(frame)
+
     # ==================================================================
     # Squash (branch redirects and protocol-escalated violations)
     # ==================================================================
@@ -956,6 +1067,7 @@ class Processor:
             self.stats.squashed_instructions += len(frame.nodes)
             self.lsq.drop_frame(frame.uid)
             self.frames_by_uid.pop(frame.uid)
+            self._retire_frame(frame)
         self.stats.squashed_frames += len(victims)
         self.frames = [f for f in self.frames if f.uid not in dead]
         for frame in self.frames:
@@ -1017,6 +1129,7 @@ class Processor:
 
         self.frames.pop(0)
         self.frames_by_uid.pop(head.uid)
+        self._retire_frame(head)
 
         if label == HALT_LABEL:
             if self.frames:

@@ -25,6 +25,16 @@ validation and the CLI's protocol listing are derived from the registered
 set, and :func:`build_recovery` instantiates whatever protocol a
 configuration names.  ``docs/PROTOCOL.md`` documents the full contract,
 including how to add a protocol.
+
+**Arena-recycling rule:** the processor recycles retired ``Frame``
+objects (and their instruction nodes) through per-block free lists, so a
+frame object handled during one violation may later be re-bound to a
+*different* dynamic block instance.  Protocols must therefore refer to
+frames by **uid** (via ``processor.frames_by_uid``) whenever state
+crosses a cycle boundary, and must never cache a ``Frame`` or
+``InstructionNode`` reference across cycles.  Every registered protocol
+is checked against this by ``tests/test_arena.py`` (recycled vs fresh
+allocation must be byte-identical).
 """
 
 from __future__ import annotations

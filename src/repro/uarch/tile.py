@@ -22,27 +22,39 @@ class ExecTile:
         self.index = index
         self.coord = coord
         self.issue_width = issue_width
-        #: Min-heap of (frame_seq, inst_index, push_seq) -> node candidates.
-        self._ready: List[Tuple[int, int, int, InstructionNode]] = []
+        #: Min-heap of (frame_seq, inst_index, push_seq, node, life)
+        #: candidates.  The trailing ``life`` tags the node generation the
+        #: entry was pushed under: arena recycling reuses node objects, so
+        #: an entry whose life no longer matches ``node.life`` belongs to
+        #: a previous dynamic instance and is skipped lazily on pop —
+        #: never scrubbed, exactly like dead-frame entries always were.
+        self._ready: List[Tuple[int, int, int, InstructionNode, int]] = []
         self._push_seq = 0
-        self._queued: set = set()
-        #: Min-heap of (completion_cycle, push_seq, frame_seq) -> node.
-        self._executing: List[Tuple[int, int, InstructionNode]] = []
+        #: node -> life of its pending ready entry.  With distinct node
+        #: objects this degenerates to the old identity set; with recycled
+        #: nodes the life value keeps a stale entry's pop from deleting
+        #: the *current* life's membership.
+        self._queued: dict = {}
+        #: Min-heap of (completion_cycle, push_seq, node, life).
+        self._executing: List[Tuple[int, int, InstructionNode, int]] = []
 
     # ------------------------------------------------------------------
 
     def enqueue(self, seq: int, node: InstructionNode) -> None:
         """Offer a node for (re-)issue; duplicates are coalesced.
 
-        The dedup set holds the node objects themselves: exactly one node
-        exists per (frame_uid, index), so identity is the key.
+        The dedup key is the node object *plus its current life*: exactly
+        one live node exists per (frame_uid, index), and a recycled node's
+        previous-life entries no longer count as membership.
         """
         queued = self._queued
-        if node in queued:
+        life = node.life
+        if queued.get(node) == life:
             return
-        queued.add(node)
+        queued[node] = life
         self._push_seq += 1
-        heapq.heappush(self._ready, (seq, node.index, self._push_seq, node))
+        heapq.heappush(self._ready,
+                       (seq, node.index, self._push_seq, node, life))
 
     def issue_ready(self, now: int, latency_fn,
                     alive_fn) -> List[InstructionNode]:
@@ -52,9 +64,13 @@ class ExecTile:
         ``alive_fn(frame_uid) -> bool`` filters nodes of squashed frames.
         """
         issued: List[InstructionNode] = []
+        queued = self._queued
         while self._ready and len(issued) < self.issue_width:
-            seq, idx, push, node = heapq.heappop(self._ready)
-            self._queued.discard(node)
+            seq, idx, push, node, life = heapq.heappop(self._ready)
+            if life != node.life:
+                continue                  # stale entry of a recycled node
+            if queued.get(node) == life:
+                del queued[node]
             if not alive_fn(node.frame_uid):
                 continue
             if not node.can_issue():
@@ -62,7 +78,8 @@ class ExecTile:
             node._begin_issued()
             done = now + latency_fn(node)
             self._push_seq += 1
-            heapq.heappush(self._executing, (done, self._push_seq, node))
+            heapq.heappush(self._executing,
+                           (done, self._push_seq, node, node.life))
             issued.append(node)
         return issued
 
@@ -70,7 +87,9 @@ class ExecTile:
         """Nodes whose FU pass finishes at or before ``now``."""
         done: List[InstructionNode] = []
         while self._executing and self._executing[0][0] <= now:
-            done.append(heapq.heappop(self._executing)[2])
+            _, _, node, life = heapq.heappop(self._executing)
+            if life == node.life:
+                done.append(node)
         return done
 
     # ------------------------------------------------------------------

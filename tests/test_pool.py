@@ -1,0 +1,218 @@
+"""Tests for the persistent worker pool, kernel-affine chunking, and the
+per-process golden memo (repro.harness.pool)."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.harness import (ParallelRunner, ResultCache, SweepPlan,
+                           WorkerPool, golden_for, reset_golden_memo,
+                           run_cell_chunk)
+from repro.harness.parallel import SESSION_METRICS_FILE
+from repro.workloads import KERNELS
+
+
+def two_kernel_plan():
+    """2 kernels x 2 points: enough pending cells for the pooled path."""
+    plan = SweepPlan()
+    for inst in (KERNELS["queue"].build(12), KERNELS["vecsum"].build(16)):
+        plan.add(inst, "dsre")
+        plan.add(inst, "aggressive")
+    return plan
+
+
+def stats_of(results):
+    return [r.stats.as_dict() for r in results]
+
+
+# ----------------------------------------------------------------------
+# Worker-death injection helpers (must be module-level: picklable).
+# ----------------------------------------------------------------------
+
+def _exit_once(task):
+    """Kill the worker the first time, succeed on the retry."""
+    marker, value = task
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        os._exit(1)
+    return value
+
+
+def _always_exit(_task):
+    os._exit(1)
+
+
+def _boom(_task):
+    raise ValueError("boom")
+
+
+def _echo_pid(task):
+    return (os.getpid(), task)
+
+
+class TestWorkerPool:
+    def test_results_in_task_order(self):
+        with WorkerPool(jobs=2) as pool:
+            out = pool.run(_echo_pid, list(range(5)))
+        assert [task for _, task in out] == list(range(5))
+
+    def test_executor_reused_across_runs(self):
+        with WorkerPool(jobs=1) as pool:
+            first = pool.run(_echo_pid, [1, 2])
+            second = pool.run(_echo_pid, [3])
+            assert pool.spinups == 1
+            assert pool.tasks_run == 3
+            # Same worker process served both runs.
+            assert {pid for pid, _ in first} == {pid for pid, _ in second}
+
+    def test_dead_worker_recovered(self, tmp_path):
+        marker = str(tmp_path / "died-once")
+        with WorkerPool(jobs=1) as pool:
+            out = pool.run(_exit_once, [(marker, "ok")])
+            assert out == ["ok"]
+            assert pool.broken_recoveries == 1
+            assert pool.spinups == 2          # original + respawn
+
+    def test_respawn_budget_exhausted(self):
+        from concurrent.futures.process import BrokenProcessPool
+        with WorkerPool(jobs=1, max_respawns=1) as pool:
+            with pytest.raises(BrokenProcessPool):
+                pool.run(_always_exit, [0])
+        assert pool.spinups == 2              # original + 1 respawn
+
+    def test_task_exception_propagates(self):
+        with WorkerPool(jobs=1) as pool:
+            with pytest.raises(ValueError, match="boom"):
+                pool.run(_boom, [0])
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(jobs=0)
+
+
+class TestGoldenMemo:
+    def test_fresh_then_hit(self):
+        reset_golden_memo()
+        inst = KERNELS["queue"].build(12)
+        golden, fresh = golden_for(inst)
+        assert fresh
+        again, fresh2 = golden_for(inst)
+        assert not fresh2
+        assert again is golden                # identical objects, no rerun
+
+    def test_mutation_misses(self):
+        reset_golden_memo()
+        inst = KERNELS["queue"].build(12)
+        golden_for(inst)
+        inst.initial_regs[9] = 42             # different identity digest
+        _, fresh = golden_for(inst)
+        assert fresh
+
+    def test_chunk_rejects_mixed_kernels(self):
+        plan = two_kernel_plan()
+        chunk = [(i, cell) for i, cell in enumerate(plan.cells)]
+        with pytest.raises(SimulationError, match="identity digests"):
+            run_cell_chunk(chunk)
+
+    def test_chunk_shares_one_golden_run(self):
+        reset_golden_memo()
+        plan = SweepPlan()
+        inst = KERNELS["queue"].build(12)
+        for point in ("dsre", "aggressive", "storeset"):
+            plan.add(inst, point)
+        payload = run_cell_chunk(list(enumerate(plan.cells)))
+        assert payload["golden_fresh"] == 1
+        assert payload["golden_hits"] == 2
+        assert len(payload["records"]) == 3
+
+
+class TestRunnerPooling:
+    def test_pool_reused_across_plans(self):
+        # Inject the pool so the pooled path is exercised even on a
+        # single-core host (where the core clamp would otherwise keep
+        # everything in-process).
+        reset_golden_memo()
+        with WorkerPool(jobs=2) as pool:
+            runner = ParallelRunner(jobs=2, pool=pool)
+            first = runner.run_plan(two_kernel_plan())
+            m1 = runner.last_metrics
+            assert m1.pooled
+            assert m1.pool_spinups == 1
+            assert m1.pool_reuses == 0
+            # Cold memo + kernel-affine chunks: each kernel's golden
+            # trace was paid at most once across the whole plan.
+            assert m1.golden_runs_per_kernel <= 1.0
+
+            second = runner.run_plan(two_kernel_plan())
+            m2 = runner.last_metrics
+            assert m2.pooled
+            assert m2.pool_spinups == 1       # same executor, no respawn
+            assert m2.pool_reuses == 1
+            assert stats_of(first) == stats_of(second)
+
+    def test_jobs1_parity_with_pooled(self):
+        serial = ParallelRunner(jobs=1)
+        a = serial.run_plan(two_kernel_plan())
+        assert not serial.last_metrics.pooled
+        with WorkerPool(jobs=2) as pool:
+            runner = ParallelRunner(jobs=2, pool=pool)
+            b = runner.run_plan(two_kernel_plan())
+            assert runner.last_metrics.pooled
+        assert stats_of(a) == stats_of(b)
+        assert [r.arch_digest for r in a] == [r.arch_digest for r in b]
+        assert [r.label for r in a] == [r.label for r in b]
+
+    def test_small_remainder_stays_in_process(self):
+        runner = ParallelRunner(jobs=4)
+        plan = SweepPlan()
+        plan.add(KERNELS["queue"].build(12), "dsre")
+        plan.add(KERNELS["vecsum"].build(16), "dsre")
+        runner.run_plan(plan)                 # 2 pending < 4 jobs
+        assert runner.pool is None            # no pool ever spun up
+        assert not runner.last_metrics.pooled
+
+    def test_single_kernel_stays_in_process(self):
+        runner = ParallelRunner(jobs=2)
+        plan = SweepPlan()
+        inst = KERNELS["queue"].build(12)
+        for point in ("dsre", "aggressive", "storeset", "hybrid"):
+            plan.add(inst, point)
+        runner.run_plan(plan)                 # 4 pending, but 1 kernel
+        assert runner.pool is None
+        assert not runner.last_metrics.pooled
+
+    def test_fully_cached_plan_spawns_no_pool(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        ParallelRunner(jobs=1, cache=cache).run_plan(two_kernel_plan())
+        warm = ParallelRunner(jobs=2, cache=cache)
+        results = warm.run_plan(two_kernel_plan())
+        assert all(r.from_cache for r in results)
+        assert warm.pool is None
+        m = warm.last_metrics
+        assert m.executed == 0 and m.from_cache == len(results)
+        assert m.kernels_executed == 0
+
+    def test_session_metrics_file_written(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        runner = ParallelRunner(jobs=1, cache=cache)
+        runner.run_plan(two_kernel_plan())
+        path = os.path.join(cache.root, SESSION_METRICS_FILE)
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["plans_run"] == 1
+        assert payload["cells_executed"] == 4
+        assert payload["golden_runs_per_kernel"] <= 1.0
+        assert payload["last_plan"]["cells"] == 4
+        # The metrics file must be invisible to the cache proper.
+        assert cache.stats()["entries"] == 4
+
+    def test_summary_mentions_redundancy(self):
+        reset_golden_memo()
+        runner = ParallelRunner(jobs=1)
+        runner.run_plan(two_kernel_plan())
+        text = runner.summary()
+        assert "golden runs/kernel 1.00" in text
+        assert "cells/s" in text

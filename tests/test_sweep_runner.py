@@ -179,8 +179,8 @@ class TestDifferentialCheck:
         admitted to the cache."""
         real = parallel_mod._simulate
 
-        def corrupted(instance, config, golden):
-            result = real(instance, config, golden)
+        def corrupted(instance, config, golden, arena=None):
+            result = real(instance, config, golden, arena)
             result.arch.set_reg(2, result.arch.get_reg(2) ^ 0xDEAD)
             return result
 
@@ -192,8 +192,8 @@ class TestDifferentialCheck:
     def test_corrupted_memory_rejected(self, monkeypatch):
         real = parallel_mod._simulate
 
-        def corrupted(instance, config, golden):
-            result = real(instance, config, golden)
+        def corrupted(instance, config, golden, arena=None):
+            result = real(instance, config, golden, arena)
             result.arch.memory.write_word(0x9_0000, 0x1234)
             return result
 
@@ -204,8 +204,8 @@ class TestDifferentialCheck:
     def test_nothing_cached_on_failure(self, cache, monkeypatch):
         real = parallel_mod._simulate
 
-        def corrupted(instance, config, golden):
-            result = real(instance, config, golden)
+        def corrupted(instance, config, golden, arena=None):
+            result = real(instance, config, golden, arena)
             result.arch.set_reg(1, 0xBAD)
             return result
 
