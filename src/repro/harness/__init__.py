@@ -3,24 +3,29 @@ execution layer (sweep plans, parallel runner, result cache), and the
 table/figure regeneration functions T1, T2, E1..E8."""
 
 from .cache import ResultCache, cache_key
+from .client import ServerError, SweepClient
 from .experiments import (EXPERIMENTS, e1_main, e2_window, e3_recovery_cost,
                           e4_policies, e5_network, e6_commit_wave,
                           e7_conflict_sweep, e8_storeset_ablation, table_t1,
                           table_t2)
 from .parallel import (CellResult, ParallelRunner, arch_state_digest,
-                       execute_cell)
-from .pool import (SweepMetrics, WorkerPool, golden_for, reset_golden_memo,
-                   run_cell_chunk)
+                       execute_cell, merge_session_metrics,
+                       session_shard_path, write_session_shard)
+from .pool import (PoolExhaustedError, SweepMetrics, WorkerPool, golden_for,
+                   reset_golden_memo, run_cell_chunk)
 from .runner import (POINT_ORDER, STANDARD_POINTS, golden_of, run_point,
                      run_points)
+from .server import ServerConfig, SweepServer
 from .sweep import SweepCell, SweepPlan
 
 __all__ = [
     "EXPERIMENTS", "POINT_ORDER", "STANDARD_POINTS", "CellResult",
-    "ParallelRunner", "ResultCache", "SweepCell", "SweepMetrics",
-    "SweepPlan", "WorkerPool", "arch_state_digest", "cache_key", "e1_main",
-    "e2_window", "e3_recovery_cost", "e4_policies", "e5_network",
+    "ParallelRunner", "PoolExhaustedError", "ResultCache", "ServerConfig",
+    "ServerError", "SweepCell", "SweepClient", "SweepMetrics", "SweepPlan",
+    "SweepServer", "WorkerPool", "arch_state_digest", "cache_key",
+    "e1_main", "e2_window", "e3_recovery_cost", "e4_policies", "e5_network",
     "e6_commit_wave", "e7_conflict_sweep", "e8_storeset_ablation",
-    "execute_cell", "golden_for", "golden_of", "reset_golden_memo",
-    "run_cell_chunk", "run_point", "run_points", "table_t1", "table_t2",
+    "execute_cell", "golden_for", "golden_of", "merge_session_metrics",
+    "reset_golden_memo", "run_cell_chunk", "run_point", "run_points",
+    "session_shard_path", "table_t1", "table_t2", "write_session_shard",
 ]

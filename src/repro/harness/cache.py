@@ -15,6 +15,12 @@ written atomically (temp file + rename).  A record that fails validation —
 truncated JSON, wrong schema, key mismatch, missing sections — is deleted
 and reported as *corrupt*; the caller simply re-simulates.
 
+The cache root may be **shared by several processes** (parallel CLI runs,
+the sweep server, multi-process shards).  The invariants that make that
+safe — atomic replace-only writes, mtime-guarded corrupt-entry deletion,
+``*.tmp.*`` files invisible to every scan and reaped only when aged — are
+documented in ``docs/HARNESS.md`` ("Shared cache root").
+
 The cache stores only architectural digests and counters, never the full
 final state: admission is gated by the differential check in
 :mod:`repro.harness.parallel`, so a cached record is by construction a
@@ -26,8 +32,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigError
 from ..uarch.config import MachineConfig
@@ -35,6 +42,11 @@ from ..uarch.config import MachineConfig
 #: Bump when the record layout changes; old records then miss (and are
 #: reaped by ``clear``), never misparsed.
 SCHEMA_VERSION = 1
+
+#: A ``<name>.tmp.<pid>`` file younger than this may still belong to a
+#: live writer racing towards ``os.replace``; older ones are orphans left
+#: by a crashed writer and are reaped by :meth:`ResultCache.clear`.
+TMP_REAP_AGE = 60.0
 
 #: Sections a record must carry to be admitted on load.
 _REQUIRED_KEYS = ("schema", "key", "kernel", "point", "config", "result",
@@ -63,10 +75,25 @@ def cache_key(identity_digest: str, config: MachineConfig) -> str:
 
 
 class ResultCache:
-    """A directory of content-addressed result records."""
+    """A directory of content-addressed result records.
 
-    def __init__(self, root: str = ".repro-cache"):
+    ``shard`` is an optional ``(index, count)`` pair: when set, this
+    process *owns* (i.e. is expected to execute) only the keys whose
+    leading digest byte falls in its slice — see :meth:`owns_key`.  All
+    shards read and write the whole root; ownership only partitions who
+    pays for a miss, which is what lets several server processes share
+    one cache root without duplicating work.
+    """
+
+    def __init__(self, root: str = ".repro-cache",
+                 shard: Optional[Tuple[int, int]] = None):
         self.root = root
+        if shard is not None:
+            index, count = shard
+            if count < 1 or not 0 <= index < count:
+                raise ConfigError(
+                    f"bad cache shard {shard!r}: need 0 <= index < count")
+        self.shard = shard
         self.session = CacheSession()
 
     # ------------------------------------------------------------------
@@ -74,9 +101,26 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
 
+    def owns_key(self, key: str) -> bool:
+        """True when this process is responsible for executing ``key``.
+
+        Sharding is by digest prefix — the same two hex characters the
+        on-disk layout shards directories by — so one shard's writes
+        cluster in its own subdirectories.
+        """
+        if self.shard is None:
+            return True
+        index, count = self.shard
+        return int(key[:2], 16) % count == index
+
     def load(self, key: str) -> Optional[dict]:
         """The validated record for ``key``, or None (miss / corrupt)."""
         path = self._path(key)
+        try:
+            before = os.stat(path)
+        except OSError:
+            self.session.misses += 1
+            return None
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 record = json.load(fh)
@@ -87,15 +131,40 @@ class ResultCache:
         except (json.JSONDecodeError, ValueError, TypeError, KeyError,
                 UnicodeDecodeError, ConfigError):
             # A corrupt entry must never poison a run: drop it and rerun.
+            # The unlink is mtime-guarded: another process may have
+            # atomically replaced the file with a *valid* record between
+            # our read and now, and deleting that would lose its work.
             self.session.corrupt += 1
             self.session.misses += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            self._unlink_if_unchanged(path, before)
             return None
         self.session.hits += 1
         return record
+
+    def peek(self, key: str) -> Optional[dict]:
+        """Like :meth:`load`, but with no session accounting and no
+        corrupt-entry deletion — safe for cross-process polling (a peer
+        shard may be mid-write; just report "not there yet")."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+            self._validate(key, record)
+        except (OSError, json.JSONDecodeError, ValueError, TypeError,
+                KeyError, UnicodeDecodeError, ConfigError):
+            return None
+        return record
+
+    @staticmethod
+    def _unlink_if_unchanged(path: str, before: os.stat_result) -> None:
+        try:
+            after = os.stat(path)
+            if ((after.st_ino, after.st_mtime_ns, after.st_size)
+                    != (before.st_ino, before.st_mtime_ns,
+                        before.st_size)):
+                return          # replaced by a concurrent writer
+            os.unlink(path)
+        except OSError:
+            pass
 
     def store(self, key: str, record: dict) -> None:
         """Atomically write ``record`` under ``key``."""
@@ -131,7 +200,13 @@ class ResultCache:
     # ------------------------------------------------------------------
 
     def entries(self) -> List[str]:
-        """All record paths currently on disk."""
+        """All record paths currently on disk.
+
+        In-flight (or orphaned) ``*.tmp.*`` writer files are never
+        records, whatever their extension, so they are skipped here —
+        and therefore invisible to :meth:`stats` and :meth:`clear`'s
+        record accounting.
+        """
         found = []
         if not os.path.isdir(self.root):
             return found
@@ -140,8 +215,24 @@ class ResultCache:
             if not os.path.isdir(shard_dir):
                 continue
             for name in sorted(os.listdir(shard_dir)):
-                if name.endswith(".json"):
+                if name.endswith(".json") and ".tmp." not in name:
                     found.append(os.path.join(shard_dir, name))
+        return found
+
+    def orphan_tmp_files(self) -> List[str]:
+        """Every ``*.tmp.*`` file under the root (crashed-writer debris
+        plus any write that is in flight right now)."""
+        found = []
+        if not os.path.isdir(self.root):
+            return found
+        for entry in sorted(os.listdir(self.root)):
+            path = os.path.join(self.root, entry)
+            if os.path.isdir(path):
+                for name in sorted(os.listdir(path)):
+                    if ".tmp." in name:
+                        found.append(os.path.join(path, name))
+            elif ".tmp." in entry:
+                found.append(path)
         return found
 
     def stats(self) -> Dict[str, object]:
@@ -151,8 +242,8 @@ class ResultCache:
         stale = 0
         total_bytes = 0
         for path in paths:
-            total_bytes += os.path.getsize(path)
             try:
+                total_bytes += os.path.getsize(path)
                 with open(path, "r", encoding="utf-8") as fh:
                     record = json.load(fh)
                 if record.get("schema") != SCHEMA_VERSION:
@@ -169,16 +260,30 @@ class ResultCache:
             "bytes": total_bytes,
             "schema": SCHEMA_VERSION,
             "stale_or_corrupt": stale,
+            "orphan_tmp": len(self.orphan_tmp_files()),
             "per_kernel": dict(sorted(per_kernel.items())),
         }
 
-    def clear(self) -> int:
-        """Delete every record; returns how many were removed."""
+    def clear(self, tmp_age: float = TMP_REAP_AGE) -> int:
+        """Delete every record; returns how many were removed.
+
+        Also reaps orphaned ``*.tmp.*`` writer files older than
+        ``tmp_age`` seconds.  Younger ones are left alone: they may
+        belong to a concurrent writer that is about to ``os.replace``
+        them into place.
+        """
         removed = 0
         for path in self.entries():
             try:
                 os.unlink(path)
                 removed += 1
+            except OSError:
+                pass
+        now = time.time()
+        for path in self.orphan_tmp_files():
+            try:
+                if now - os.path.getmtime(path) >= tmp_age:
+                    os.unlink(path)
             except OSError:
                 pass
         # Prune now-empty shard directories (best effort).

@@ -9,6 +9,7 @@ Usage::
     python -m repro.harness.cli cache stats
     python -m repro.harness.cli cache clear
     python -m repro.harness.cli list
+    python -m repro.harness.cli serve --port 8321     # sweep server
 
 ``--full`` uses the default evaluation scales (minutes); without it the
 fast test scales run in seconds.  Timing results are cached under
@@ -23,7 +24,6 @@ from __future__ import annotations
 
 import argparse
 import inspect
-import json
 import os
 import sys
 import time
@@ -31,7 +31,7 @@ from typing import List, Optional
 
 from .cache import ResultCache
 from .experiments import EXPERIMENTS, table_t1
-from .parallel import SESSION_METRICS_FILE, ParallelRunner
+from .parallel import ParallelRunner, merge_session_metrics
 
 
 def _run_one(name: str, fast: bool, runner: ParallelRunner,
@@ -46,14 +46,14 @@ def _run_one(name: str, fast: bool, runner: ParallelRunner,
 
 
 def _print_session_metrics(root: str) -> None:
-    """Show the last session's sweep-redundancy counters, if recorded."""
-    path = os.path.join(root, SESSION_METRICS_FILE)
-    try:
-        with open(path, "r", encoding="utf-8") as fh:
-            m = json.load(fh)
-    except (OSError, json.JSONDecodeError):
+    """Show session sweep-redundancy counters, merged across every
+    process that ever wrote a ``session.<pid>.json`` shard here."""
+    m = merge_session_metrics(root)
+    if m is None:
         return
-    print("last session")
+    shards = m.get("shards", 1)
+    title = "sessions" if shards > 1 else "last session"
+    print(f"{title} ({shards} shard{'s' if shards > 1 else ''})")
     print(f"  plans / cells   {m.get('plans_run', 0)} plans, "
           f"{m.get('cells_executed', 0)} simulated, "
           f"{m.get('cells_from_cache', 0)} from cache "
@@ -75,6 +75,9 @@ def _cache_command(args: List[str], root: str) -> int:
         print(f"schema version  {stats['schema']}")
         if stats["stale_or_corrupt"]:
             print(f"stale/corrupt   {stats['stale_or_corrupt']}")
+        if stats["orphan_tmp"]:
+            print(f"orphan tmp      {stats['orphan_tmp']} "
+                  f"(reaped by 'cache clear' when aged)")
         for kernel, count in stats["per_kernel"].items():
             print(f"  {kernel:12s} {count}")
         _print_session_metrics(root)
@@ -87,8 +90,61 @@ def _cache_command(args: List[str], root: str) -> int:
     return 2
 
 
+def _serve_command(argv: List[str]) -> int:
+    """``cli serve``: run the sweep server until SIGTERM/SIGINT."""
+    from .server import ServerConfig, SweepServer
+
+    parser = argparse.ArgumentParser(
+        prog="repro-harness serve",
+        description="Run the long-lived sweep server (POST /plans, "
+                    "GET /plans/<id>, /metrics, /healthz)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="listen port; 0 picks a free one "
+                             "(default: %(default)s)")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="worker processes (default: all CPUs)")
+    parser.add_argument("--cache-dir", default=".repro-cache")
+    parser.add_argument("--quota-capacity", type=int, default=512,
+                        metavar="CELLS",
+                        help="per-tenant burst budget in cells "
+                             "(default: %(default)s)")
+    parser.add_argument("--quota-refill", type=float, default=64.0,
+                        metavar="CELLS/S",
+                        help="per-tenant sustained rate "
+                             "(default: %(default)s)")
+    parser.add_argument("--batch-window", type=float, default=0.02,
+                        metavar="SEC",
+                        help="submission-coalescing window "
+                             "(default: %(default)s)")
+    parser.add_argument("--shard-id", type=int, default=0)
+    parser.add_argument("--shard-count", type=int, default=1,
+                        help="server processes sharing this cache root "
+                             "(default: %(default)s)")
+    parser.add_argument("--drain-linger", type=float, default=1.0,
+                        metavar="SEC",
+                        help="serve GETs this long after the last plan "
+                             "finishes during drain "
+                             "(default: %(default)s)")
+    parser.add_argument("--port-file", default=None, metavar="PATH",
+                        help="write the bound port here once listening "
+                             "(for scripts using --port 0)")
+    args = parser.parse_args(argv)
+
+    config = ServerConfig(
+        host=args.host, port=args.port, jobs=args.jobs,
+        cache_dir=args.cache_dir, quota_capacity=args.quota_capacity,
+        quota_refill=args.quota_refill, batch_window=args.batch_window,
+        shard_id=args.shard_id, shard_count=args.shard_count,
+        drain_linger=args.drain_linger)
+    return SweepServer(config).serve_forever(port_file=args.port_file)
+
+
 def main(argv: List[str] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+
+    if argv and argv[0] == "serve":
+        return _serve_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-harness",

@@ -1,0 +1,137 @@
+"""Blocking HTTP client for the sweep server.
+
+:class:`SweepClient` wraps the :mod:`repro.harness.server` protocol in
+plain method calls — submit a plan, poll it, fetch its table — using
+only :mod:`http.client`, so scripts and tests need no third-party HTTP
+stack:
+
+>>> client = SweepClient(port=8321)
+>>> table = client.run({"kernels": ["queue"], "points": ["dsre"]})
+
+Every call opens one connection (the server speaks
+``Connection: close`` HTTP/1.1), so a client object is cheap, reusable,
+and safe to share across threads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Optional, Tuple
+
+from ..errors import ReproError
+
+
+class ServerError(ReproError):
+    """An error response (or transport failure) from the sweep server.
+
+    ``status`` is the HTTP status code, or 0 for transport failures
+    (connection refused, timeouts).
+    """
+
+    def __init__(self, message: str, status: int = 0):
+        super().__init__(message)
+        self.status = status
+
+
+class SweepClient:
+    """A blocking client for one sweep server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8321,
+                 tenant: Optional[str] = None, timeout: float = 30.0):
+        self.host = host
+        self.port = int(port)
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> Tuple[int, str, bytes]:
+        payload = (json.dumps(body).encode()
+                   if body is not None else None)
+        headers = {"Connection": "close"}
+        if payload is not None:
+            headers["Content-Type"] = "application/json"
+        if self.tenant:
+            headers["X-Tenant"] = str(self.tenant)
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            ctype = response.getheader("Content-Type", "")
+            return response.status, ctype, data
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServerError(
+                f"sweep server at {self.host}:{self.port} unreachable: "
+                f"{exc}") from exc
+        finally:
+            conn.close()
+
+    def _json(self, method: str, path: str,
+              body: Optional[dict] = None) -> dict:
+        status, _, data = self._request(method, path, body)
+        try:
+            payload = json.loads(data or b"{}")
+        except json.JSONDecodeError:
+            payload = {"error": data.decode("utf-8", "replace")}
+        if status >= 400:
+            raise ServerError(
+                payload.get("error", f"HTTP {status}"), status=status)
+        return payload
+
+    # -- API ------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._json("GET", "/metrics")
+
+    def submit(self, plan: dict) -> str:
+        """Submit a plan; returns its id (raises on 4xx/5xx)."""
+        return self._json("POST", "/plans", plan)["id"]
+
+    def status(self, plan_id: str) -> dict:
+        return self._json("GET", f"/plans/{plan_id}")
+
+    def plans(self) -> list:
+        return self._json("GET", "/plans")["plans"]
+
+    def table(self, plan_id: str) -> str:
+        """The finished plan's rendered table text."""
+        status, _, data = self._request("GET", f"/plans/{plan_id}/table")
+        if status != 200:
+            try:
+                error = json.loads(data).get("error", "")
+            except json.JSONDecodeError:
+                error = data.decode("utf-8", "replace")
+            raise ServerError(error or f"HTTP {status}", status=status)
+        return data.decode("utf-8")
+
+    def wait(self, plan_id: str, timeout: float = 300.0,
+             poll: float = 0.05) -> dict:
+        """Poll until the plan reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(plan_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServerError(
+                    f"plan {plan_id} still {status['state']} after "
+                    f"{timeout:.0f}s")
+            time.sleep(poll)
+
+    def run(self, plan: dict, timeout: float = 300.0) -> str:
+        """Submit, wait, and return the table (raises on failure)."""
+        plan_id = self.submit(plan)
+        status = self.wait(plan_id, timeout=timeout)
+        if status["state"] != "done":
+            raise ServerError(
+                f"plan {plan_id} failed: {status.get('error')}",
+                status=500)
+        return self.table(plan_id)

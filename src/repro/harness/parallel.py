@@ -51,10 +51,95 @@ from .pool import SweepMetrics, WorkerPool, golden_for, run_cell_chunk
 from .runner import POINT_ORDER
 from .sweep import SweepCell, SweepPlan
 
-#: Where the runner drops the latest sweep metrics inside the cache root.
-#: It is not a content-addressed record (no 2-hex shard directory), so
-#: ``ResultCache.entries``/``clear``/``stats`` never see it.
+#: Legacy single-writer session-metrics name.  Runners now write
+#: per-process ``session.<pid>.json`` shards (two runners sharing a
+#: cache root must not clobber each other's counters — last-writer-wins
+#: silently lost whole sessions); the legacy name is still *read* by
+#: :func:`merge_session_metrics` so old roots keep reporting.
 SESSION_METRICS_FILE = "session.json"
+
+#: Session-shard counters that sum across processes when merging.
+_SESSION_SUM_KEYS = ("plans_run", "cells_executed", "cells_from_cache",
+                     "kernels_executed", "golden_fresh_runs",
+                     "golden_memo_hits", "pool_spinups", "pool_reuses")
+
+
+def session_shard_path(root: str, pid: Optional[int] = None) -> str:
+    """This process's (or ``pid``'s) session-metrics shard file."""
+    return os.path.join(root, f"session.{pid or os.getpid()}.json")
+
+
+def session_shard_files(root: str) -> List[str]:
+    """Every session shard under ``root`` (including the legacy name),
+    skipping in-flight ``*.tmp.*`` writer files."""
+    out = []
+    if not os.path.isdir(root):
+        return out
+    for name in sorted(os.listdir(root)):
+        if (name.startswith("session.") and name.endswith(".json")
+                and ".tmp." not in name):
+            out.append(os.path.join(root, name))
+    return out
+
+
+def write_session_shard(root: str, payload: dict) -> None:
+    """Atomically write this process's session-metrics shard.
+
+    Best-effort: metrics must never fail a sweep.
+    """
+    try:
+        os.makedirs(root, exist_ok=True)
+        path = session_shard_path(root)
+        tmp = path + f".tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True, indent=2)
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
+def merge_session_metrics(root: str) -> Optional[dict]:
+    """Merge every per-process session shard under ``root``.
+
+    Counter keys sum across shards; ``last_plan`` comes from the most
+    recently written shard.  Returns None when no shard parses — the
+    consumer (``cli cache stats``, the server's ``/metrics``) then just
+    omits the section.
+    """
+    merged: Dict[str, object] = {key: 0 for key in _SESSION_SUM_KEYS}
+    wall = 0.0
+    last_plan, last_mtime = None, -1.0
+    shards = 0
+    for path in session_shard_files(root):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            mtime = os.path.getmtime(path)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            continue
+        if not isinstance(payload, dict):
+            continue
+        shards += 1
+        for key in _SESSION_SUM_KEYS:
+            value = payload.get(key, 0)
+            if isinstance(value, (int, float)):
+                merged[key] += int(value)
+        seconds = payload.get("wall_seconds", 0.0)
+        if isinstance(seconds, (int, float)):
+            wall += float(seconds)
+        if mtime > last_mtime and isinstance(payload.get("last_plan"),
+                                             dict):
+            last_mtime, last_plan = mtime, payload["last_plan"]
+    if not shards:
+        return None
+    merged["wall_seconds"] = round(wall, 6)
+    kernels = merged["kernels_executed"]
+    merged["golden_runs_per_kernel"] = (
+        round(merged["golden_fresh_runs"] / kernels, 4) if kernels
+        else 0.0)
+    merged["shards"] = shards
+    merged["last_plan"] = last_plan
+    return merged
 
 
 def _available_cores() -> int:
@@ -233,8 +318,13 @@ class ParallelRunner:
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
-                 pool: Optional[WorkerPool] = None):
+                 pool: Optional[WorkerPool] = None,
+                 write_session_metrics: bool = True):
         self.jobs = int(jobs) if jobs is not None else (os.cpu_count() or 1)
+        #: When False, the runner never writes its session shard — the
+        #: sweep server aggregates across runners and writes one shard
+        #: per server process instead.
+        self.write_session_metrics = write_session_metrics
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
         #: Worker processes that can actually run concurrently.  Asking
@@ -286,8 +376,7 @@ class ParallelRunner:
             pending.append(index)
 
         for index, record in self._execute(cells, digests, pending):
-            if self.cache is not None:
-                self.cache.store(keys[index], record)
+            self._admit(keys[index], record)
             results[index] = result_from_record(record, from_cache=False)
 
         for result in results:
@@ -300,6 +389,13 @@ class ParallelRunner:
                            time.perf_counter() - started)
         return results
 
+    def _admit(self, key: Optional[str], record: dict) -> None:
+        """Write one fresh record back to the cache (hook point: the
+        sweep server's runner overrides this — its execution engine has
+        already admitted the record exactly once)."""
+        if self.cache is not None:
+            self.cache.store(key, record)
+
     def _execute(self, cells: List[SweepCell], digests: List[str],
                  pending: List[int]) -> List[Tuple[int, dict]]:
         """Run the un-cached cells; yields ``(plan_index, record)``.
@@ -309,6 +405,7 @@ class ParallelRunner:
         """
         self._plan_golden_fresh = 0
         self._plan_golden_hits = 0
+        self._plan_dedup_hits = 0
         self._plan_pooled = False
         if not pending:
             self._plan_kernels = 0
@@ -359,13 +456,17 @@ class ParallelRunner:
                    for index in members]
                   for members in groups.values()]
         chunks.sort(key=lambda chunk: (-len(chunk), chunk[0][0]))
+        # Chunk labels: the identity digest every member shares — on
+        # pool exhaustion they name the lost kernels precisely.
+        chunk_digests = [digests[chunk[0][0]] for chunk in chunks]
         self._plan_pooled = True
         if self.pool is None:
             self.pool = WorkerPool(self.effective_jobs)
         if self.pool.warm:
             self.pool_reuses += 1
         out = []
-        for payload in self.pool.run(run_cell_chunk, chunks):
+        for payload in self.pool.run(run_cell_chunk, chunks,
+                                     labels=chunk_digests):
             out.extend(payload["records"])
             self._plan_golden_fresh += payload["golden_fresh"]
             self._plan_golden_hits += payload["golden_hits"]
@@ -411,18 +512,14 @@ class ParallelRunner:
             pooled=self._plan_pooled,
             pool_spinups=self.pool.spinups if self.pool else 0,
             pool_reuses=self.pool_reuses,
+            inflight_dedup_hits=getattr(self, "_plan_dedup_hits", 0),
         )
         self._write_session_metrics()
 
-    def _write_session_metrics(self) -> None:
-        """Drop the session's sweep metrics next to the cache shards.
-
-        Best-effort and never content-addressed: ``cli cache stats``
-        reads it back to show the last session's redundancy counters.
-        """
-        if self.cache is None:
-            return
-        payload = {
+    def session_payload(self) -> dict:
+        """This runner's cumulative session counters, shard-schema shaped
+        (the same keys :func:`merge_session_metrics` sums)."""
+        return {
             "plans_run": self.plans_run,
             "cells_executed": self.cells_executed,
             "cells_from_cache": self.cells_from_cache,
@@ -435,17 +532,21 @@ class ParallelRunner:
                 if self.kernels_executed else 0.0,
             "pool_spinups": self.pool.spinups if self.pool else 0,
             "pool_reuses": self.pool_reuses,
-            "last_plan": self.last_metrics.as_dict(),
+            "last_plan": self.last_metrics.as_dict()
+            if self.last_metrics else None,
         }
-        try:
-            os.makedirs(self.cache.root, exist_ok=True)
-            path = os.path.join(self.cache.root, SESSION_METRICS_FILE)
-            tmp = path + f".tmp.{os.getpid()}"
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, sort_keys=True, indent=2)
-            os.replace(tmp, path)
-        except OSError:
-            pass
+
+    def _write_session_metrics(self) -> None:
+        """Drop this process's session shard next to the cache shards.
+
+        Best-effort and never content-addressed: ``cli cache stats``
+        merges the shards back to show session redundancy counters.
+        Per-process naming (``session.<pid>.json``) is what lets several
+        runners share one cache root without clobbering each other.
+        """
+        if self.cache is None or not self.write_session_metrics:
+            return
+        write_session_shard(self.cache.root, self.session_payload())
 
     # -- lifecycle ------------------------------------------------------
 

@@ -29,6 +29,7 @@ scattered back into plan order, so tables stay byte-identical for every
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -39,6 +40,22 @@ from ..arch.interp import run_program
 from ..arch.state import ArchState
 from ..arch.trace import ExecutionTrace
 from ..errors import SimulationError
+
+
+class PoolExhaustedError(SimulationError, BrokenProcessPool):
+    """The worker pool broke more than ``max_respawns`` times.
+
+    Unlike a bare :class:`BrokenProcessPool`, this names exactly which
+    tasks were lost: ``unfinished`` carries the labels the caller
+    submitted alongside the tasks (the runner and the sweep server pass
+    chunk identity digests), so the caller can reschedule or report the
+    lost cells precisely instead of guessing.  Subclassing
+    ``BrokenProcessPool`` keeps existing ``except`` clauses working.
+    """
+
+    def __init__(self, message: str, unfinished: Sequence = ()):
+        super().__init__(message)
+        self.unfinished = list(unfinished)
 
 #: (trace, final state) per identity digest.  One entry per kernel that
 #: this *process* has interpreted; workers inherit a snapshot on fork and
@@ -147,55 +164,90 @@ class WorkerPool:
         self.broken_recoveries = 0
         self.tasks_run = 0
         self._executor: Optional[ProcessPoolExecutor] = None
+        #: Guards executor creation/teardown: the sweep server calls
+        #: :meth:`run` from several dispatcher threads at once, and a
+        #: break observed by two of them must respawn exactly once.
+        self._lock = threading.Lock()
+        self._generation = 0
 
     # ------------------------------------------------------------------
 
-    def _ensure(self) -> ProcessPoolExecutor:
+    def _ensure_locked(self) -> Tuple[ProcessPoolExecutor, int]:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.jobs)
             self.spinups += 1
-        return self._executor
+            self._generation += 1
+        return self._executor, self._generation
+
+    def _retire(self, generation: int) -> None:
+        """Tear down the executor that produced a break — exactly once,
+        even when several threads observe the same broken generation."""
+        with self._lock:
+            if self._generation != generation or self._executor is None:
+                return          # another thread already respawned it
+            executor, self._executor = self._executor, None
+            self.broken_recoveries += 1
+        executor.shutdown()
 
     @property
     def warm(self) -> bool:
         """True once an executor exists (the next plan reuses it)."""
         return self._executor is not None
 
-    def run(self, fn: Callable, tasks: Sequence) -> List:
+    def run(self, fn: Callable, tasks: Sequence,
+            labels: Optional[Sequence] = None) -> List:
         """Run ``fn`` over ``tasks``; results in task order.
 
         Tasks lost to a dead worker are retried on a respawned executor;
-        any other exception from ``fn`` propagates unchanged.
+        any other exception from ``fn`` propagates unchanged.  When the
+        respawn budget runs out, the raised :class:`PoolExhaustedError`
+        carries ``labels[i]`` (or ``i`` when no labels were given) for
+        every task that never finished.
         """
+        if labels is not None and len(labels) != len(tasks):
+            raise ValueError("labels must parallel tasks")
         results: List = [None] * len(tasks)
         pending = list(range(len(tasks)))
         respawns = 0
         while pending:
-            executor = self._ensure()
-            futures = [(i, executor.submit(fn, tasks[i])) for i in pending]
+            with self._lock:
+                executor, generation = self._ensure_locked()
+            futures = []
             broken: List[int] = []
+            for i in pending:
+                try:
+                    futures.append((i, executor.submit(fn, tasks[i])))
+                except RuntimeError:
+                    # Another thread retired this executor mid-submit;
+                    # treat the task as broken and retry on the next one.
+                    broken.append(i)
             for i, future in futures:
                 try:
                     results[i] = future.result()
                 except BrokenProcessPool:
                     broken.append(i)
             if broken:
+                broken.sort()
                 respawns += 1
                 if respawns > self.max_respawns:
-                    raise BrokenProcessPool(
+                    lost = [labels[i] if labels is not None else i
+                            for i in broken]
+                    raise PoolExhaustedError(
                         f"worker pool broke {respawns} times; giving up "
-                        f"on {len(broken)} tasks")
-                self.close()
-                self.broken_recoveries += 1
+                        f"on {len(broken)} tasks: "
+                        + ", ".join(map(str, lost)),
+                        unfinished=lost)
+                self._retire(generation)
             pending = broken
         self.tasks_run += len(tasks)
         return results
 
     def close(self) -> None:
         """Shut the executor down (a later :meth:`run` re-spins)."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -220,6 +272,9 @@ class SweepMetrics:
     pooled: bool                 # True if a process pool executed cells
     pool_spinups: int            # executors ever built (session total)
     pool_reuses: int             # plans served by an already-warm pool
+    #: Cells of this plan that were not executed *or* cached but joined
+    #: an execution already in flight for another plan (sweep server).
+    inflight_dedup_hits: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -235,4 +290,5 @@ class SweepMetrics:
             "pooled": self.pooled,
             "pool_spinups": self.pool_spinups,
             "pool_reuses": self.pool_reuses,
+            "inflight_dedup_hits": self.inflight_dedup_hits,
         }

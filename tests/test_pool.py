@@ -7,10 +7,10 @@ import os
 import pytest
 
 from repro.errors import SimulationError
-from repro.harness import (ParallelRunner, ResultCache, SweepPlan,
-                           WorkerPool, golden_for, reset_golden_memo,
-                           run_cell_chunk)
-from repro.harness.parallel import SESSION_METRICS_FILE
+from repro.harness import (ParallelRunner, PoolExhaustedError, ResultCache,
+                           SweepPlan, WorkerPool, golden_for,
+                           reset_golden_memo, run_cell_chunk)
+from repro.harness.parallel import merge_session_metrics, session_shard_path
 from repro.workloads import KERNELS
 
 
@@ -82,6 +82,26 @@ class TestWorkerPool:
             with pytest.raises(BrokenProcessPool):
                 pool.run(_always_exit, [0])
         assert pool.spinups == 2              # original + 1 respawn
+
+    def test_exhaustion_names_lost_labels(self):
+        """The typed error must say exactly which tasks were lost."""
+        with WorkerPool(jobs=1, max_respawns=0) as pool:
+            with pytest.raises(PoolExhaustedError) as info:
+                pool.run(_always_exit, ["a", "b"],
+                         labels=["digest-a", "digest-b"])
+        assert info.value.unfinished == ["digest-a", "digest-b"]
+        assert "digest-a" in str(info.value)
+
+    def test_exhaustion_defaults_to_indices(self):
+        with WorkerPool(jobs=1, max_respawns=0) as pool:
+            with pytest.raises(PoolExhaustedError) as info:
+                pool.run(_always_exit, ["only"])
+        assert info.value.unfinished == [0]
+
+    def test_mismatched_labels_rejected(self):
+        with WorkerPool(jobs=1) as pool:
+            with pytest.raises(ValueError):
+                pool.run(_echo_pid, [1, 2], labels=["just-one"])
 
     def test_task_exception_propagates(self):
         with WorkerPool(jobs=1) as pool:
@@ -195,19 +215,43 @@ class TestRunnerPooling:
         assert m.executed == 0 and m.from_cache == len(results)
         assert m.kernels_executed == 0
 
-    def test_session_metrics_file_written(self, tmp_path):
+    def test_session_metrics_shard_written(self, tmp_path):
         cache = ResultCache(str(tmp_path / "cache"))
         runner = ParallelRunner(jobs=1, cache=cache)
         runner.run_plan(two_kernel_plan())
-        path = os.path.join(cache.root, SESSION_METRICS_FILE)
+        # Per-process shard: session.<pid>.json, not a shared file.
+        path = session_shard_path(cache.root)
+        assert str(os.getpid()) in os.path.basename(path)
         with open(path) as fh:
             payload = json.load(fh)
         assert payload["plans_run"] == 1
         assert payload["cells_executed"] == 4
         assert payload["golden_runs_per_kernel"] <= 1.0
         assert payload["last_plan"]["cells"] == 4
-        # The metrics file must be invisible to the cache proper.
+        # The merged view reads the shard back.
+        merged = merge_session_metrics(cache.root)
+        assert merged["plans_run"] == 1
+        assert merged["shards"] == 1
+        # The metrics shard must be invisible to the cache proper.
         assert cache.stats()["entries"] == 4
+
+    def test_runner_labels_chunks_with_digests(self):
+        """The pooled path hands chunk identity digests to the pool, so
+        exhaustion errors can name the lost kernels."""
+        captured = {}
+
+        class _SpyPool(WorkerPool):
+            def run(self, fn, tasks, labels=None):
+                captured["labels"] = list(labels or [])
+                return super().run(fn, tasks, labels=labels)
+
+        plan = two_kernel_plan()
+        expected = {cell.instance.identity_digest() for cell in plan}
+        with _SpyPool(jobs=2) as pool:
+            runner = ParallelRunner(jobs=2, pool=pool)
+            runner.run_plan(plan)
+        assert set(captured["labels"]) == expected
+        assert len(captured["labels"]) == 2
 
     def test_summary_mentions_redundancy(self):
         reset_golden_memo()

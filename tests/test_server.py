@@ -1,0 +1,265 @@
+"""End-to-end tests for the sweep server (repro.harness.server) and its
+blocking client (repro.harness.client).
+
+Most tests run the server on a background thread inside this process
+(fast, deterministic, no subprocess plumbing); the SIGTERM drain test
+spawns a real ``cli serve`` process and kills it the way an operator
+would.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.harness import (ParallelRunner, ServerConfig, ServerError,
+                           SweepClient, SweepServer)
+from repro.harness.experiments import e1_main
+from repro.harness.parallel import session_shard_files
+from repro.harness.server import expand_grid, render_grid_table
+
+GRID = {"kernels": ["queue"], "points": ["dsre", "aggressive"],
+        "fast": True}
+
+
+class ServerHarness:
+    """One in-process server on a background thread."""
+
+    def __init__(self, tmp_path, **overrides):
+        overrides.setdefault("cache_dir", str(tmp_path / "cache"))
+        overrides.setdefault("batch_window", 0.01)
+        overrides.setdefault("drain_linger", 0.0)
+        config = ServerConfig(port=0, jobs=2, **overrides)
+        self.server = SweepServer(config)
+        self.thread = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"install_signals": False}, daemon=True)
+        self.thread.start()
+        assert self.server.wait_until_serving(30)
+        self.client = SweepClient(port=self.server.port)
+
+    def stop(self):
+        self.server.request_shutdown()
+        self.thread.join(30)
+        assert not self.thread.is_alive()
+
+
+@pytest.fixture
+def harness(tmp_path):
+    h = ServerHarness(tmp_path)
+    yield h
+    h.stop()
+
+
+class TestHTTPBasics:
+    def test_healthz(self, harness):
+        payload = harness.client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["port"] == harness.server.port
+
+    def test_unknown_route_404(self, harness):
+        with pytest.raises(ServerError) as info:
+            harness.client._json("GET", "/nope")
+        assert info.value.status == 404
+
+    def test_unknown_plan_404(self, harness):
+        with pytest.raises(ServerError) as info:
+            harness.client.status("plan-999")
+        assert info.value.status == 404
+
+    def test_bad_plans_rejected(self, harness):
+        for bad in ({}, {"kernels": ["no-such-kernel"]},
+                    {"experiment": "e99"},
+                    {"kernels": ["queue"], "points": ["warp-drive"]},
+                    {"cells": []}):
+            with pytest.raises(ServerError) as info:
+                harness.client.submit(bad)
+            assert info.value.status == 400
+        # Nothing bad ever reached execution.
+        metrics = harness.client.metrics()["server"]
+        assert metrics["plans"]["submitted"] == 0
+
+
+class TestPlanExecution:
+    def test_grid_table_byte_identical(self, harness):
+        served = harness.client.run(GRID, timeout=120)
+        expected = render_grid_table(
+            ParallelRunner(jobs=1).run_plan(expand_grid(GRID)))
+        assert served == expected
+
+    def test_experiment_table_byte_identical(self, harness):
+        request = {"experiment": "e1", "fast": True,
+                   "kernels": ["queue", "vecsum"]}
+        served = harness.client.run(request, timeout=300)
+        expected = e1_main(fast=True, runner=ParallelRunner(jobs=1),
+                           kernels=["queue", "vecsum"]).render()
+        assert served == expected
+
+    def test_second_run_served_from_cache(self, harness):
+        harness.client.run(GRID, timeout=120)
+        plan_id = harness.client.submit(GRID)
+        status = harness.client.wait(plan_id, timeout=120)
+        assert status["metrics"]["from_cache"] == 2
+        assert status["metrics"]["executed"] == 0
+        assert status["cells"].get("cached") == 2
+
+    def test_status_reports_cells_and_digest(self, harness):
+        plan_id = harness.client.submit(GRID)
+        status = harness.client.wait(plan_id, timeout=120)
+        assert status["state"] == "done"
+        assert status["cells"]["total"] == 2
+        assert len(status["table_digest"]) == 64
+        table = harness.client.table(plan_id)
+        states = harness.client.status(plan_id)["cell_states"]
+        assert [c["state"] for c in states] == ["done", "done"]
+        assert "queue @ dsre" in table
+
+
+class TestDedupAndQuota:
+    def test_identical_plans_share_execution(self, tmp_path):
+        # A wider batch window so both submissions land in one batch.
+        h = ServerHarness(tmp_path, batch_window=0.1)
+        try:
+            first = h.client.submit(GRID)
+            second = h.client.submit(GRID)
+            status_1 = h.client.wait(first, timeout=120)
+            status_2 = h.client.wait(second, timeout=120)
+            cells = h.client.metrics()["server"]["cells"]
+            assert cells["requested"] == 4
+            assert cells["executed"] == 2           # not 4
+            assert cells["dedup_inflight_hits"] == 2
+            hits = (status_1["metrics"]["inflight_dedup_hits"]
+                    + status_2["metrics"]["inflight_dedup_hits"])
+            assert hits == 2
+            assert h.client.table(first) == h.client.table(second)
+        finally:
+            h.stop()
+
+    def test_quota_exhaustion_returns_429(self, tmp_path):
+        h = ServerHarness(tmp_path, quota_capacity=3,
+                          quota_refill=0.0001)
+        try:
+            first = h.client.submit(GRID)           # 2 of 3 tokens
+            with pytest.raises(ServerError) as info:
+                h.client.submit(GRID)               # needs 2, has 1
+            assert info.value.status == 429
+            plans = h.client.metrics()["server"]["plans"]
+            assert plans["rejected_quota"] == 1
+            # The admitted plan is unaffected by the rejection.
+            assert h.client.wait(first, timeout=120)["state"] == "done"
+        finally:
+            h.stop()
+
+    def test_quota_is_per_tenant(self, tmp_path):
+        h = ServerHarness(tmp_path, quota_capacity=3,
+                          quota_refill=0.0001)
+        try:
+            h.client.submit(GRID)
+            other = SweepClient(port=h.server.port, tenant="other")
+            other.submit(GRID)                      # own fresh bucket
+            buckets = h.client.metrics()["server"]["quota"]["tenants"]
+            assert set(buckets) == {"default", "other"}
+        finally:
+            h.stop()
+
+
+class TestSharding:
+    def test_unowned_cells_reissued_after_peer_wait(self, tmp_path):
+        """A sharded server executes foreign keys itself once the owner
+        fails to deliver within the peer window — results stay
+        byte-identical, only who paid changes."""
+        h = ServerHarness(tmp_path, shard_id=0, shard_count=2,
+                          peer_wait=0.2, peer_poll=0.02)
+        try:
+            from repro.harness.cache import cache_key
+            cells = list(expand_grid(GRID))
+            foreign = sum(
+                not h.server.cache.owns_key(
+                    cache_key(c.instance.identity_digest(), c.config()))
+                for c in cells)
+            served = h.client.run(GRID, timeout=120)
+            expected = render_grid_table(
+                ParallelRunner(jobs=1).run_plan(expand_grid(GRID)))
+            assert served == expected
+            metrics = h.client.metrics()["server"]["cells"]
+            # No peer is running, so every foreign cell came back via
+            # the speculative local re-issue; owned cells never did.
+            assert metrics["peer_reissues"] == foreign
+            assert metrics["executed"] == len(cells)
+        finally:
+            h.stop()
+
+
+class TestDrain:
+    def test_draining_refuses_new_plans(self, tmp_path):
+        h = ServerHarness(tmp_path, drain_linger=5.0)
+        h.server.request_shutdown()
+        deadline = time.monotonic() + 5.0
+        status = None
+        while time.monotonic() < deadline and status != 503:
+            try:
+                h.client.submit(GRID)  # drain flag not visible yet
+            except ServerError as exc:
+                status = exc.status
+            time.sleep(0.02)
+        assert status == 503
+        h.thread.join(30)
+        assert not h.thread.is_alive()
+
+
+class TestSigtermDrain:
+    def test_cli_serve_drains_on_sigterm(self, tmp_path):
+        """An operator-style run: spawn ``cli serve``, run a sweep over
+        HTTP, SIGTERM it, and require a clean exit with no lost cells
+        and persisted session metrics."""
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        cache_dir = str(tmp_path / "cache")
+        port_file = str(tmp_path / "port")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.harness.cli", "serve",
+             "--port", "0", "--port-file", port_file,
+             "--jobs", "1", "--cache-dir", cache_dir,
+             "--batch-window", "0.01", "--drain-linger", "0.1"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        try:
+            deadline = time.monotonic() + 60
+            while not os.path.exists(port_file):
+                assert proc.poll() is None, \
+                    proc.stdout.read().decode()
+                assert time.monotonic() < deadline, "server never bound"
+                time.sleep(0.05)
+            with open(port_file) as fh:
+                port = int(fh.read())
+            client = SweepClient(port=port)
+            table = client.run(GRID, timeout=120)
+            expected = render_grid_table(
+                ParallelRunner(jobs=1).run_plan(expand_grid(GRID)))
+            assert table == expected
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+        # The drain persisted the server's session shard.
+        shards = session_shard_files(cache_dir)
+        assert any(str(proc.pid) in os.path.basename(p) for p in shards)
+        with open(session_shard_path_for(shards, proc.pid)) as fh:
+            payload = json.load(fh)
+        assert payload["plans_run"] == 1
+        assert payload["cells_executed"] == 2
+
+
+def session_shard_path_for(paths, pid):
+    for path in paths:
+        if str(pid) in os.path.basename(path):
+            return path
+    raise AssertionError(f"no shard for pid {pid} in {paths}")
