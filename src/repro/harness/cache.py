@@ -54,6 +54,22 @@ _REQUIRED_KEYS = ("schema", "key", "kernel", "point", "config", "result",
 _REQUIRED_RESULT_KEYS = ("stats", "network", "lsq", "l1", "predictor")
 
 
+def _is_shard_dir(name: str) -> bool:
+    """True for the two-hex-digit record directories (``key[:2]``).
+
+    The cache root also hosts non-record directories (``plans/`` with
+    sweep manifests and completion journals); those must not be counted
+    as records nor deleted by :meth:`ResultCache.clear`.
+    """
+    if len(name) != 2:
+        return False
+    try:
+        int(name, 16)
+    except ValueError:
+        return False
+    return True
+
+
 @dataclass
 class CacheSession:
     """Hit/miss accounting for one runner session."""
@@ -205,14 +221,17 @@ class ResultCache:
         In-flight (or orphaned) ``*.tmp.*`` writer files are never
         records, whatever their extension, so they are skipped here —
         and therefore invisible to :meth:`stats` and :meth:`clear`'s
-        record accounting.
+        record accounting.  Only the two-hex-digit shard directories
+        hold records; sibling directories under the root (such as
+        ``plans/`` with sweep manifests and journals) are not records
+        and are left untouched by :meth:`clear`.
         """
         found = []
         if not os.path.isdir(self.root):
             return found
         for shard in sorted(os.listdir(self.root)):
             shard_dir = os.path.join(self.root, shard)
-            if not os.path.isdir(shard_dir):
+            if not os.path.isdir(shard_dir) or not _is_shard_dir(shard):
                 continue
             for name in sorted(os.listdir(shard_dir)):
                 if name.endswith(".json") and ".tmp." not in name:

@@ -10,6 +10,8 @@ Usage::
     python -m repro.harness.cli cache clear
     python -m repro.harness.cli list
     python -m repro.harness.cli serve --port 8321     # sweep server
+    python -m repro.harness.cli corpus fill --count 48 --shard 0/4
+    python -m repro.harness.cli corpus status         # journal summaries
 
 ``--full`` uses the default evaluation scales (minutes); without it the
 fast test scales run in seconds.  Timing results are cached under
@@ -35,13 +37,17 @@ from .parallel import ParallelRunner, merge_session_metrics
 
 
 def _run_one(name: str, fast: bool, runner: ParallelRunner,
-             kernels: Optional[List[str]]) -> str:
+             kernels: Optional[List[str]],
+             sample: Optional[int] = None) -> str:
     func = EXPERIMENTS[name]
     if func is table_t1:
         return table_t1().render()
     kwargs = {"fast": fast, "runner": runner}
-    if kernels and "kernels" in inspect.signature(func).parameters:
+    params = inspect.signature(func).parameters
+    if kernels and "kernels" in params:
         kwargs["kernels"] = kernels
+    if sample is not None and "sample" in params:
+        kwargs["sample"] = sample
     return func(**kwargs).render()
 
 
@@ -140,17 +146,97 @@ def _serve_command(argv: List[str]) -> int:
     return SweepServer(config).serve_forever(port_file=args.port_file)
 
 
+def _parse_shard(text: str):
+    """``i/n`` → ``(i, n)`` with ``0 <= i < n`` (digest-range claiming)."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad shard {text!r}: expected i/n, e.g. 0/4")
+    if not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"bad shard {text!r}: need 0 <= i < n")
+    return index, count
+
+
+def _corpus_command(argv: List[str]) -> int:
+    """``cli corpus``: shard-aware corpus cache fills and journal status.
+
+    ``fill`` executes this shard's share of the E9 corpus plan into the
+    shared cache root (journaled, so a crashed fill resumes with zero
+    re-executed cells); ``status`` summarises every plan journal under
+    the root.  After all shards fill, an unsharded ``cli e9`` renders
+    the table entirely from the merged cache.
+    """
+    from .experiments import corpus_plan
+    from .journal import PlanJournal, journals_under
+
+    parser = argparse.ArgumentParser(
+        prog="repro-harness corpus",
+        description="Fill the result cache with corpus cells "
+                    "(shardable, resumable) or inspect plan journals")
+    parser.add_argument("action", choices=["fill", "status"])
+    parser.add_argument("--count", type=int, default=None, metavar="N",
+                        help="corpus programs to sample (default: the "
+                             "E9 sample size for the chosen scale)")
+    parser.add_argument("--seed", type=int, default=0xE9,
+                        help="corpus sample seed (default: %(default)s)")
+    parser.add_argument("--shard", type=_parse_shard, default=None,
+                        metavar="i/n",
+                        help="claim only cells whose cache-key digest "
+                             "falls in slice i of n (default: all)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: all CPUs)")
+    parser.add_argument("--full", action="store_true",
+                        help="use the full corpus scale (slow)")
+    parser.add_argument("--cache-dir", default=".repro-cache")
+    args = parser.parse_args(argv)
+
+    if args.action == "status":
+        digests = journals_under(args.cache_dir)
+        if not digests:
+            print(f"no plan journals under {args.cache_dir}")
+            return 0
+        for digest in digests:
+            summary = PlanJournal(args.cache_dir, digest).summary()
+            cells = summary["cells"]
+            print(f"plan {digest[:12]}  "
+                  f"cells {cells if cells is not None else '?'}  "
+                  f"completed {summary['completed']}  "
+                  f"executed {summary['executed_lines']}  "
+                  f"cached {summary['cache_lines']}  "
+                  f"re-executed {summary['reexecuted_cells']}")
+        return 0
+
+    fast = not args.full
+    plan, cells = corpus_plan(fast=fast, sample=args.count, seed=args.seed)
+    cache = ResultCache(args.cache_dir, shard=args.shard)
+    with ParallelRunner(jobs=args.jobs, cache=cache,
+                        journal=True) as runner:
+        outcome = runner.fill_plan(plan)
+    shard = f"shard {args.shard[0]}/{args.shard[1]}  " if args.shard else ""
+    print(f"plan {outcome['plan'][:12]}  {shard}"
+          f"cells {outcome['cells']}  executed {outcome['executed']}  "
+          f"from-cache {outcome['from_cache']}  "
+          f"foreign {outcome['foreign']}")
+    print(f"[sweep: {runner.summary()}]")
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
 
     if argv and argv[0] == "serve":
         return _serve_command(argv[1:])
+    if argv and argv[0] == "corpus":
+        return _corpus_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-harness",
         description="Regenerate evaluation tables for the DSRE reproduction")
     parser.add_argument("experiments", nargs="+",
-                        help="experiment ids (t1 t2 e1..e8), 'all'/'list', "
+                        help="experiment ids (t1 t2 e1..e9), 'all'/'list', "
                              "or 'cache stats'/'cache clear'")
     parser.add_argument("--full", action="store_true",
                         help="use full evaluation scales (slow)")
@@ -160,6 +246,10 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--kernels", default=None, metavar="A,B,..",
                         help="restrict kernel-selectable experiments to "
                              "this comma-separated subset")
+    parser.add_argument("--corpus-sample", type=int, default=None,
+                        metavar="N",
+                        help="corpus programs for sampled experiments "
+                             "(e9; default: the experiment's own size)")
     parser.add_argument("--cache-dir", default=".repro-cache",
                         help="result cache directory "
                              "(default: %(default)s)")
@@ -200,7 +290,11 @@ def main(argv: List[str] = None) -> int:
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     jobs = 1 if args.profile else (args.jobs or os.cpu_count() or 1)
-    runner = ParallelRunner(jobs=jobs, cache=cache)
+    # Journaling rides along whenever a cache is attached: every plan
+    # gets a manifest + completion journal, so an interrupted run
+    # resumes with zero re-executed cells.
+    runner = ParallelRunner(jobs=jobs, cache=cache,
+                            journal=cache is not None)
     kernels = args.kernels.split(",") if args.kernels else None
 
     profiler = None
@@ -213,7 +307,7 @@ def main(argv: List[str] = None) -> int:
         for name in wanted:
             start = time.time()
             print(_run_one(name, fast=not args.full, runner=runner,
-                           kernels=kernels))
+                           kernels=kernels, sample=args.corpus_sample))
             print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
     finally:
         runner.close()

@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from ..stats.report import Table, geomean
 from ..uarch.config import default_config
 from ..workloads.common import KernelInstance
+from ..workloads.corpus import build_corpus, sample_corpus
 from ..workloads.registry import KERNELS
 from ..workloads.synth import SynthParams, build_synthetic
 from .parallel import ParallelRunner
@@ -396,6 +397,119 @@ def e8_storeset_ablation(fast: bool = True,
     return table
 
 
+# ----------------------------------------------------------------------
+# E9: corpus-scale protocol ordering
+# ----------------------------------------------------------------------
+
+#: All six registered machine points, in presentation order (the legacy
+#: five-point study plus the hybrid protocol).
+E9_POINTS = tuple(POINT_ORDER) + ("hybrid",)
+
+#: Default corpus sample sizes (programs, not cells; each program runs
+#: across all six points).
+E9_FAST_SAMPLE = 12
+E9_FULL_SAMPLE = 48
+
+
+def corpus_plan(fast: bool = True, sample: Optional[int] = None,
+                seed: int = 0xE9):
+    """The E9 sweep plan: a seeded corpus sample × all six points.
+
+    Returns ``(plan, cells)`` where ``cells`` is a list of
+    ``(CorpusParams, {point: plan index})`` pairs in sample order.  The
+    plan is a pure function of ``(fast, sample, seed)`` — same arguments,
+    same cell keys, same plan digest — which is what makes corpus sweeps
+    resumable across processes and shardable across hosts.
+    """
+    count = int(sample) if sample is not None else (
+        E9_FAST_SAMPLE if fast else E9_FULL_SAMPLE)
+    plan = SweepPlan()
+    cells = []
+    for params in sample_corpus(count, seed=seed, fast=fast):
+        instance = build_corpus(params)
+        indices = plan.add_points(instance, E9_POINTS)
+        cells.append((params, indices))
+    return plan, cells
+
+
+def e9_corpus_ordering(fast: bool = True,
+                       sample: Optional[int] = None,
+                       seed: int = 0xE9,
+                       runner: Optional[ParallelRunner] = None) -> Table:
+    """E9 — aggregate protocol ordering over a generated corpus.
+
+    Runs every sampled corpus program across all six machine points and
+    reports each point's geomean speedup over conservative, the induced
+    protocol ordering, and — against the paper's Anchor A claim (DSRE
+    beats store-sets) — the listing of *inversion* programs where
+    store-sets wins, with their exact generator parameters so any
+    inversion reproduces from its seed."""
+    runner = _runner(runner)
+    plan, cells = corpus_plan(fast=fast, sample=sample, seed=seed)
+    results = runner.run_plan(plan)
+
+    speedups: Dict[str, List[float]] = {p: [] for p in E9_POINTS}
+    per_program: Dict[str, Dict[str, float]] = {}
+    inversions: List[dict] = []
+    for params, indices in cells:
+        base = results[indices["conservative"]].stats.cycles
+        per = {}
+        for point in E9_POINTS:
+            s = base / results[indices[point]].stats.cycles
+            speedups[point].append(s)
+            per[point] = s
+        per_program[params.label()] = per
+        if per["dsre"] < per["storeset"]:
+            inversions.append({
+                "label": params.label(),
+                "params": params.canonical(),
+                "dsre": per["dsre"],
+                "storeset": per["storeset"],
+            })
+
+    geo = {p: geomean(speedups[p]) for p in E9_POINTS}
+    ordering = sorted(E9_POINTS,
+                      key=lambda p: (-geo[p], E9_POINTS.index(p)))
+    table = Table(
+        "E9. Corpus protocol ordering "
+        f"(geomean speedup over conservative, {len(cells)} programs)",
+        ["rank", "point", "geomean", "min", "max"])
+    for rank, point in enumerate(ordering, start=1):
+        table.add_row(rank, point, geo[point],
+                      min(speedups[point]), max(speedups[point]))
+
+    holds = len(cells) - len(inversions)
+    table.add_footer("ordering: " + " > ".join(ordering))
+    table.add_footer(
+        f"Anchor A (dsre > storeset): holds on {holds}/{len(cells)} "
+        f"programs; geomean dsre/storeset = "
+        f"{geo['dsre'] / geo['storeset']:.3f}")
+    if inversions:
+        table.add_footer("inversions (storeset wins):")
+        for inv in inversions:
+            table.add_footer(
+                f"  {inv['label']}: dsre {inv['dsre']:.3f} < "
+                f"storeset {inv['storeset']:.3f}  [{inv['params']}]")
+    else:
+        table.add_footer("inversions (storeset wins): none")
+
+    table.data = {
+        "points": list(E9_POINTS),
+        "seed": seed,
+        "programs": len(cells),
+        "geomean": geo,
+        "ordering": ordering,
+        "speedups": per_program,
+        "inversions": inversions,
+        "anchor_a": {
+            "holds": holds,
+            "programs": len(cells),
+            "dsre_over_storeset": geo["dsre"] / geo["storeset"] - 1.0,
+        },
+    }
+    return table
+
+
 #: Every regenerable artifact, keyed by its DESIGN.md experiment id.
 EXPERIMENTS = {
     "t1": table_t1,
@@ -408,4 +522,5 @@ EXPERIMENTS = {
     "e6": e6_commit_wave,
     "e7": e7_conflict_sweep,
     "e8": e8_storeset_ablation,
+    "e9": e9_corpus_ordering,
 }

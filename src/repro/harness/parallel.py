@@ -47,6 +47,7 @@ from ..uarch.predictor import PredictorStats
 from ..uarch.processor import Processor, SimResult
 from ..workloads.common import KernelInstance
 from .cache import SCHEMA_VERSION, ResultCache, cache_key
+from .journal import PlanJournal, plan_digest
 from .pool import SweepMetrics, WorkerPool, golden_for, run_cell_chunk
 from .runner import POINT_ORDER
 from .sweep import SweepCell, SweepPlan
@@ -319,7 +320,8 @@ class ParallelRunner:
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  pool: Optional[WorkerPool] = None,
-                 write_session_metrics: bool = True):
+                 write_session_metrics: bool = True,
+                 journal: bool = False):
         self.jobs = int(jobs) if jobs is not None else (os.cpu_count() or 1)
         #: When False, the runner never writes its session shard — the
         #: sweep server aggregates across runners and writes one shard
@@ -334,6 +336,15 @@ class ParallelRunner:
         #: golden memo makes that path zero-redundancy too.
         self.effective_jobs = max(1, min(self.jobs, _available_cores()))
         self.cache = cache
+        #: When True, every plan writes a manifest and a per-cell
+        #: completion journal under ``<cache root>/plans/`` (the
+        #: resumable-sweep proof artifacts — see repro.harness.journal).
+        self.journal_enabled = bool(journal)
+        if self.journal_enabled and cache is None:
+            raise ValueError("journal=True requires a cache (the journal "
+                             "lives in the cache root)")
+        #: The journal of the most recent run_plan/fill_plan call.
+        self.last_journal: Optional[PlanJournal] = None
         #: Counters merged across every cell this runner has produced
         #: (cached or fresh) — the whole-session aggregate.
         self.merged_stats = SimStats()
@@ -375,8 +386,16 @@ class ParallelRunner:
                     continue
             pending.append(index)
 
+        journal = self._open_journal(cells, keys)
+        if journal is not None:
+            for index, result in enumerate(results):
+                if result is not None:
+                    journal.record(index, keys[index], "cache")
+
         for index, record in self._execute(cells, digests, pending):
             self._admit(keys[index], record)
+            if journal is not None:
+                journal.record(index, keys[index], "executed")
             results[index] = result_from_record(record, from_cache=False)
 
         for result in results:
@@ -389,6 +408,75 @@ class ParallelRunner:
                            time.perf_counter() - started)
         return results
 
+    def fill_plan(self, plan: Iterable[SweepCell]) -> Dict[str, object]:
+        """Shard-aware cache fill: execute this process's share of a plan.
+
+        Unlike :meth:`run_plan`, no results are returned — the point is
+        to *populate the content-addressed cache* so a later (unsharded)
+        ``run_plan`` renders the table entirely from cached cells.  A
+        pending cell is executed only when the attached cache **owns**
+        its key (:meth:`ResultCache.owns_key`, digest-range claiming);
+        foreign cells are left for the owning shard, which is what lets
+        several hosts fill one mergeable cache root without duplicating
+        work.  Completions are journaled when journaling is enabled, so
+        a crashed fill resumes with zero re-executed cells.
+        """
+        if self.cache is None:
+            raise ValueError("fill_plan requires a cache")
+        started = time.perf_counter()
+        cells = list(plan)
+        digests = [cell.instance.identity_digest() for cell in cells]
+        keys = [cache_key(digests[i], cells[i].config())
+                for i in range(len(cells))]
+        cached: List[int] = []
+        owned: List[int] = []
+        foreign: List[int] = []
+        for index in range(len(cells)):
+            if self.cache.load(keys[index]) is not None:
+                cached.append(index)
+            elif self.cache.owns_key(keys[index]):
+                owned.append(index)
+            else:
+                foreign.append(index)
+
+        journal = self._open_journal(cells, keys)
+        if journal is not None:
+            for index in cached:
+                journal.record(index, keys[index], "cache")
+
+        executed = 0
+        for index, record in self._execute(cells, digests, owned):
+            self._admit(keys[index], record)
+            if journal is not None:
+                journal.record(index, keys[index], "executed")
+            executed += 1
+        self.cells_executed += executed
+        self.cells_from_cache += len(cached)
+        self._account_plan(len(cells), executed,
+                           time.perf_counter() - started)
+        return {
+            "plan": journal.digest if journal is not None
+            else plan_digest(keys),
+            "cells": len(cells),
+            "from_cache": len(cached),
+            "executed": executed,
+            "foreign": len(foreign),
+            "owned": len(owned),
+        }
+
+    def _open_journal(self, cells: List[SweepCell],
+                      keys: List[Optional[str]]) -> Optional[PlanJournal]:
+        """Create (or reattach to) this plan's journal when enabled."""
+        self.last_journal = None
+        if not self.journal_enabled or self.cache is None or not cells:
+            return None
+        journal = PlanJournal(self.cache.root, plan_digest(keys))
+        journal.write_manifest(
+            [{"index": i, "key": keys[i], "label": cells[i].label}
+             for i in range(len(cells))])
+        self.last_journal = journal
+        return journal
+
     def _admit(self, key: Optional[str], record: dict) -> None:
         """Write one fresh record back to the cache (hook point: the
         sweep server's runner overrides this — its execution engine has
@@ -397,11 +485,15 @@ class ParallelRunner:
             self.cache.store(key, record)
 
     def _execute(self, cells: List[SweepCell], digests: List[str],
-                 pending: List[int]) -> List[Tuple[int, dict]]:
+                 pending: List[int]) -> Iterable[Tuple[int, dict]]:
         """Run the un-cached cells; yields ``(plan_index, record)``.
 
-        Also fills the per-plan redundancy counters consumed by
-        :meth:`_account_plan`.
+        Yields **incrementally** — per cell in-process, per kernel chunk
+        pooled — so the caller admits and journals each completion as it
+        lands: a crash mid-plan loses at most the in-flight cell (or
+        chunk), never already-finished work.  Also fills the per-plan
+        redundancy counters consumed by :meth:`_account_plan` (complete
+        once the iterator is exhausted).
         """
         self._plan_golden_fresh = 0
         self._plan_golden_hits = 0
@@ -409,7 +501,7 @@ class ParallelRunner:
         self._plan_pooled = False
         if not pending:
             self._plan_kernels = 0
-            return []
+            return iter(())
 
         # Kernel-affine grouping: one chunk per identity digest, chunks
         # and their members both in plan order.
@@ -428,29 +520,37 @@ class ParallelRunner:
         if self.pool is None and (effective == 1
                                   or len(pending) < effective
                                   or len(groups) == 1):
-            out = []
-            arenas: Dict[int, dict] = {}
-            for index in pending:
-                instance = cells[index].instance
-                golden, fresh = golden_for(instance, digests[index])
-                if fresh:
-                    self._plan_golden_fresh += 1
-                else:
-                    self._plan_golden_hits += 1
-                # One frame arena per program *object* (identity, not
-                # digest): frames parked by one machine point are reused
-                # by the kernel's next point, and a frame's block
-                # references always belong to the running program.
-                arena = arenas.setdefault(id(instance.program), {})
-                out.append((index, execute_cell(cells[index], golden=golden,
-                                                frame_arena=arena)))
-            return out
+            return self._execute_inproc(cells, digests, pending)
+        return self._execute_pooled(cells, digests, groups)
 
-        # Pooled path: one task per kernel so each worker derives (or
-        # memo-hits) that kernel's golden run exactly once.  Bigger
-        # chunks are submitted first (LPT-style) so the last task to
-        # finish is a small one; chunks are never split — that would
-        # re-introduce redundant golden runs.
+    def _execute_inproc(self, cells: List[SweepCell], digests: List[str],
+                        pending: List[int]):
+        """In-process execution, one ``(index, record)`` per yield."""
+        arenas: Dict[int, dict] = {}
+        for index in pending:
+            instance = cells[index].instance
+            golden, fresh = golden_for(instance, digests[index])
+            if fresh:
+                self._plan_golden_fresh += 1
+            else:
+                self._plan_golden_hits += 1
+            # One frame arena per program *object* (identity, not
+            # digest): frames parked by one machine point are reused
+            # by the kernel's next point, and a frame's block
+            # references always belong to the running program.
+            arena = arenas.setdefault(id(instance.program), {})
+            yield index, execute_cell(cells[index], golden=golden,
+                                      frame_arena=arena)
+
+    def _execute_pooled(self, cells: List[SweepCell], digests: List[str],
+                        groups: Dict[str, List[int]]):
+        """Pooled execution: one task per kernel so each worker derives
+        (or memo-hits) that kernel's golden run exactly once.  Bigger
+        chunks are submitted first (LPT-style) so the last task to
+        finish is a small one; chunks are never split — that would
+        re-introduce redundant golden runs.  Yields each chunk's records
+        as the chunk completes.
+        """
         shared: Dict[int, KernelInstance] = {}
         chunks = [[(index, self._pruned(cells[index], shared))
                    for index in members]
@@ -464,13 +564,12 @@ class ParallelRunner:
             self.pool = WorkerPool(self.effective_jobs)
         if self.pool.warm:
             self.pool_reuses += 1
-        out = []
         for payload in self.pool.run(run_cell_chunk, chunks,
                                      labels=chunk_digests):
-            out.extend(payload["records"])
             self._plan_golden_fresh += payload["golden_fresh"]
             self._plan_golden_hits += payload["golden_hits"]
-        return out
+            for index, record in payload["records"]:
+                yield index, record
 
     @staticmethod
     def _pruned(cell: SweepCell,

@@ -69,8 +69,10 @@ EXPERIMENT_CELLS_PER_KERNEL = {
     "t1": 0, "t2": 0, "e1": 5, "e2": 12, "e3": 2, "e4": 7,
     "e5": 6, "e6": 2, "e8": 5,
 }
-#: E7 sweeps a synthetic kernel grid independent of ``kernels``.
-EXPERIMENT_FLAT_CELLS = {"e7": 24}
+#: E7 sweeps a synthetic kernel grid and E9 a sampled corpus — both
+#: independent of ``kernels``.  E9's price covers its fast sample (12
+#: programs x 6 points); a ``sample`` override re-prices it below.
+EXPERIMENT_FLAT_CELLS = {"e7": 24, "e9": 72}
 
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
@@ -467,6 +469,12 @@ class SweepServer:
             kernels = request.get("kernels")
             self._check_kernels(kernels)
             if name in EXPERIMENT_FLAT_CELLS:
+                sample = request.get("sample")
+                if sample is not None:
+                    if not isinstance(sample, int) or sample < 1:
+                        raise _BadRequest(
+                            "'sample' must be a positive integer")
+                    return sample * len(STANDARD_POINTS)
                 return EXPERIMENT_FLAT_CELLS[name]
             per = EXPERIMENT_CELLS_PER_KERNEL.get(name, 8)
             count = len(kernels) if kernels else len(KERNELS)
@@ -577,9 +585,13 @@ class SweepServer:
             return table_t1().render()
         kwargs = {"fast": bool(request.get("fast", True)),
                   "runner": runner}
+        params = inspect.signature(func).parameters
         kernels = request.get("kernels")
-        if kernels and "kernels" in inspect.signature(func).parameters:
+        if kernels and "kernels" in params:
             kwargs["kernels"] = list(kernels)
+        sample = request.get("sample")
+        if sample is not None and "sample" in params:
+            kwargs["sample"] = int(sample)
         return func(**kwargs).render()
 
     def _absorb_runner(self, runner: ParallelRunner) -> None:

@@ -23,6 +23,9 @@ class Table:
         self.rows: List[List[str]] = []
         #: Optional machine-readable payload attached by experiments.
         self.data: dict = {}
+        #: Free-form lines rendered after the rows (e.g. E9's inversion
+        #: listing).  Empty for most tables, so their bytes are unchanged.
+        self.footers: List[str] = []
 
     def add_row(self, *cells: Cell) -> None:
         if len(cells) != len(self.headers):
@@ -30,6 +33,9 @@ class Table:
                 f"row has {len(cells)} cells, table has "
                 f"{len(self.headers)} columns")
         self.rows.append([format_cell(c) for c in cells])
+
+    def add_footer(self, line: str) -> None:
+        self.footers.append(str(line))
 
     def render(self) -> str:
         widths = [len(h) for h in self.headers]
@@ -43,6 +49,7 @@ class Table:
         for row in self.rows:
             lines.append("  ".join(c.rjust(w) if _numeric(c) else c.ljust(w)
                                    for c, w in zip(row, widths)))
+        lines.extend(self.footers)
         return "\n".join(lines)
 
     def to_csv(self) -> str:

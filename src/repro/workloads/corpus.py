@@ -1,0 +1,376 @@
+"""Unified seeded corpus generator: thousands of sweepable programs.
+
+This module grows the two hand-rolled generators (``randprog``'s
+forward-only random programs and ``synth``'s conflict-rate loop) into one
+deterministic *family* of programs parameterised over the axes the
+corpus-scale studies sweep:
+
+* ``conflict_rate`` — fraction of memory traffic aimed at one shared hot
+  region (cross-block store→load conflicts) vs. per-block private slabs
+  (conflict-free);
+* ``working_set`` — how many words the hot region spans (smaller sets
+  alias harder);
+* ``n_blocks`` / ``ops_per_block`` — program size and block density;
+* ``predication`` — density of predicated stores and select chains;
+* ``shape`` — control-flow skeleton: ``linear`` (straight line),
+  ``diamond`` (split/join pairs), ``random`` (forward-only random
+  branches, the ``randprog`` shape), or ``loop`` (a counted loop with a
+  flag-table-driven conflict consumer, the ``synth`` shape).
+
+Every instance is **deterministic in its parameters**: the same
+:class:`CorpusParams` always builds the byte-identical program, so
+:meth:`~repro.workloads.common.KernelInstance.identity_digest` is stable
+across processes and hosts and corpus cells are first-class citizens of
+the content-addressed result cache — the property the resumable/sharded
+sweep layer and experiment E9 are built on.  Generated programs carry no
+built-in expectations; the harness's always-on golden differential check
+is their correctness gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, fields
+from typing import List
+
+from ..isa.builder import BlockBuilder, ProgramBuilder, Wire
+from .common import REG_ACC, REG_I, KernelInstance
+
+#: Control-flow skeletons the generator knows how to lay out.
+SHAPES = ("linear", "diamond", "random", "loop")
+
+#: The shared hot region every block's conflict traffic lands in.
+SHARED_REGION = 0x6_0000
+#: Per-block private slabs (conflict-free traffic); one stride per block.
+PRIVATE_REGION = 0x10_0000
+PRIVATE_STRIDE = 0x1_0000
+#: Loop-shape regions (the ``synth`` memory map, kept disjoint from the
+#: forward-shape regions so mixed corpora never collide).
+LOOP_STORE_BASE = 0x8_0000
+LOOP_CLEAN_BASE = 0x9_0000
+LOOP_FLAG_BASE = 0xA_0000
+
+#: Registers the forward-shape generator flows values through.
+GEN_REGS = list(range(1, 7))
+
+#: Structural bounds (kept inside the ISA's 128-instruction /
+#: 32-memory-op block limits with headroom for fan-out MOV expansion).
+MAX_BLOCKS = 64
+MAX_LOOP_ITERATIONS = 512
+MAX_OPS_PER_BLOCK = 12
+MAX_WORKING_SET = 1024
+
+#: How many words of each region are pre-seeded with data (loads beyond
+#: the seeded prefix read zeros, which is fine — it only shapes values).
+_SHARED_SEED_WORDS = 128
+_PRIVATE_SEED_WORDS = 16
+
+
+@dataclass(frozen=True)
+class CorpusParams:
+    """One corpus cell's coordinates in the generator's parameter space."""
+
+    seed: int = 0
+    shape: str = "random"
+    #: Static blocks for forward shapes; loop iterations for ``loop``.
+    n_blocks: int = 5
+    ops_per_block: int = 8
+    conflict_rate: float = 0.35
+    working_set: int = 16          # words; must be a power of two
+    predication: float = 0.25
+
+    def validate(self) -> None:
+        if self.shape not in SHAPES:
+            raise ValueError(
+                f"shape must be one of {SHAPES}, got {self.shape!r}")
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+        limit = (MAX_LOOP_ITERATIONS if self.shape == "loop"
+                 else MAX_BLOCKS)
+        if not 2 <= self.n_blocks <= limit:
+            raise ValueError(
+                f"n_blocks must be in [2, {limit}] for shape "
+                f"{self.shape!r}, got {self.n_blocks}")
+        if not 1 <= self.ops_per_block <= MAX_OPS_PER_BLOCK:
+            raise ValueError(
+                f"ops_per_block must be in [1, {MAX_OPS_PER_BLOCK}], "
+                f"got {self.ops_per_block}")
+        if not 0.0 <= self.conflict_rate <= 1.0:
+            raise ValueError(
+                f"conflict_rate must be in [0, 1], "
+                f"got {self.conflict_rate}")
+        if not 0.0 <= self.predication <= 1.0:
+            raise ValueError(
+                f"predication must be in [0, 1], got {self.predication}")
+        ws = self.working_set
+        if not 2 <= ws <= MAX_WORKING_SET or ws & (ws - 1):
+            raise ValueError(
+                f"working_set must be a power of two in "
+                f"[2, {MAX_WORKING_SET}], got {ws}")
+
+    def canonical(self) -> str:
+        """A stable, order-fixed textual form (the generator's RNG seed
+        and the parameter digest both derive from it)."""
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, float):
+                value = f"{value:.6f}"
+            parts.append(f"{f.name}={value}")
+        return ";".join(parts)
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical parameters (not the program)."""
+        return hashlib.sha256(
+            f"repro-corpus/v1|{self.canonical()}".encode()).hexdigest()
+
+    def label(self) -> str:
+        """Compact human-readable cell name for tables and journals."""
+        return (f"corpus({self.shape},s{self.seed},b{self.n_blocks},"
+                f"o{self.ops_per_block},c{self.conflict_rate:g},"
+                f"w{self.working_set},p{self.predication:g})")
+
+
+def build_corpus(params: CorpusParams) -> KernelInstance:
+    """Build the deterministic program ``params`` describes.
+
+    The returned instance carries no expected final state: corpus
+    programs have no hand-written reference model, and the harness's
+    golden differential check (functional interpreter vs. timing
+    simulator, registers and every non-zero memory word) is what
+    validates every cell.
+    """
+    params.validate()
+    rng = random.Random(f"repro-corpus/v1|{params.canonical()}")
+    if params.shape == "loop":
+        program = _build_loop(rng, params)
+    else:
+        program = _build_forward(rng, params)
+    return KernelInstance(
+        name=params.label(),
+        program=program,
+        approx_blocks=params.n_blocks + 1,
+    )
+
+
+# ----------------------------------------------------------------------
+# Forward-only shapes: linear / diamond / random
+# ----------------------------------------------------------------------
+
+def _build_forward(rng: random.Random, params: CorpusParams):
+    names = [f"blk{i}" for i in range(params.n_blocks)]
+    pb = ProgramBuilder(entry=names[0])
+    for index, name in enumerate(names):
+        block = pb.block(name)
+        _fill_forward_block(rng, block, index, params)
+        _branch_forward(rng, block, index, names, params.shape)
+    pb.data_words(
+        "shared", SHARED_REGION,
+        [rng.randrange(1 << 32)
+         for _ in range(min(params.working_set, _SHARED_SEED_WORDS))])
+    for index in range(params.n_blocks):
+        pb.data_words(
+            f"priv{index}", PRIVATE_REGION + index * PRIVATE_STRIDE,
+            [rng.randrange(1 << 32)
+             for _ in range(min(params.working_set,
+                                _PRIVATE_SEED_WORDS))])
+    return pb.build()
+
+
+def _fill_forward_block(rng: random.Random, b: BlockBuilder, index: int,
+                        params: CorpusParams) -> None:
+    wires: List[Wire] = [b.read(reg) for reg in GEN_REGS]
+
+    def pick() -> Wire:
+        return rng.choice(wires)
+
+    def address() -> Wire:
+        """A data-dependent address: the shared hot region with
+        probability ``conflict_rate``, this block's private slab
+        otherwise — both masked to the working set."""
+        if rng.random() < params.conflict_rate:
+            base = SHARED_REGION
+        else:
+            base = PRIVATE_REGION + index * PRIVATE_STRIDE
+        masked = b.and_(pick(), imm=(params.working_set - 1))
+        return b.add(b.const(base), b.shl(masked, imm=3))
+
+    p_select = 0.2 * params.predication
+    for _ in range(params.ops_per_block):
+        r = rng.random()
+        if r < 0.4:
+            op = rng.choice(["add", "sub", "mul", "xor", "and_", "or_"])
+            if rng.random() < 0.4:
+                wires.append(getattr(b, op)(pick(),
+                                            imm=rng.randrange(1 << 8)))
+            else:
+                wires.append(getattr(b, op)(pick(), pick()))
+        elif r < 0.5:
+            op = rng.choice(["shl", "shr", "sra"])
+            wires.append(getattr(b, op)(pick(), imm=rng.randrange(8)))
+        elif r < 0.5 + p_select:
+            pred = _compare(rng, b, pick())
+            wires.append(b.select(pred, pick(), pick()))
+        elif r < 0.75 + p_select / 2:
+            width = rng.choice([1, 2, 4, 8])
+            wires.append(b.load(address(), width=width))
+        else:
+            width = rng.choice([1, 2, 4, 8])
+            value = pick()
+            if rng.random() < 0.5:
+                # Slow data: give younger speculative loads time to be
+                # wrong (the paper's central hazard).
+                value = b.mul(b.mul(value, imm=1), imm=1)
+            if rng.random() < params.predication:
+                pred = _compare(rng, b, pick())
+                b.store(address(), value, width=width,
+                        pred=(pred, rng.random() < 0.5))
+            else:
+                b.store(address(), value, width=width)
+
+    for reg in GEN_REGS:
+        if rng.random() < 0.6:
+            b.write(reg, rng.choice(wires))
+    # Keep a couple of wires alive for the branch predicate choice.
+    b._corpus_wires = wires          # type: ignore[attr-defined]
+
+
+def _branch_forward(rng: random.Random, b: BlockBuilder, index: int,
+                    names: List[str], shape: str) -> None:
+    wires = b._corpus_wires          # type: ignore[attr-defined]
+    del b._corpus_wires
+    forward = names[index + 1:]
+    if not forward:
+        b.branch("@halt")
+        return
+    if shape == "linear":
+        b.branch(forward[0])
+        return
+    if shape == "diamond":
+        # Split blocks (every third) branch over two arms that re-join.
+        phase = index % 3
+        if phase == 0 and len(forward) >= 3:
+            pred = _compare(rng, b, rng.choice(wires))
+            b.branch_if(pred, forward[0], forward[1])
+        elif phase in (1, 2) and len(forward) >= (3 - phase):
+            b.branch(forward[2 - phase])
+        else:
+            b.branch(forward[0])
+        return
+    # shape == "random": the randprog forward-only scheme.
+    if len(forward) == 1 or rng.random() < 0.4:
+        b.branch(forward[0] if rng.random() < 0.85 else "@halt")
+    else:
+        pred = _compare(rng, b, rng.choice(wires))
+        then_label = rng.choice(forward)
+        else_label = rng.choice(forward + ["@halt"])
+        b.branch_if(pred, then_label, else_label)
+
+
+def _compare(rng: random.Random, b: BlockBuilder, wire: Wire) -> Wire:
+    op = rng.choice(["teq", "tne", "tlt", "tge"])
+    return getattr(b, op)(wire, imm=rng.randrange(1 << 8))
+
+
+# ----------------------------------------------------------------------
+# Loop shape: the synth-style counted loop, working-set-masked
+# ----------------------------------------------------------------------
+
+def _build_loop(rng: random.Random, params: CorpusParams):
+    n = params.n_blocks            # loop iterations
+    mask = params.working_set - 1
+    clean_values = [rng.randrange(1 << 16) for _ in range(n)]
+    flags = [1 if (i >= 1 and rng.random() < params.conflict_rate) else 0
+             for i in range(n)]
+    predicate_store = rng.random() < params.predication
+
+    pb = ProgramBuilder(entry="init")
+    b = pb.block("init")
+    b.write(REG_I, b.movi(0))
+    b.write(REG_ACC, b.movi(0))
+    b.branch("loop")
+
+    b = pb.block("loop")
+    i = b.read(REG_I)
+    acc = b.read(REG_ACC)
+    off = b.shl(b.and_(i, imm=mask), imm=3)
+
+    # Producer: a slow value stored to this iteration's (masked) cell —
+    # small working sets make distinct iterations alias.
+    produced = b.add(b.mul(i, imm=2654435761), imm=12345)
+    for _ in range(params.ops_per_block):
+        produced = b.mul(produced, imm=1)
+    store_addr = b.add(b.const(LOOP_STORE_BASE), off)
+    if predicate_store:
+        # Flag words are 0/1, so the predicate is dynamically always
+        # true — it exercises the predication machinery without
+        # starving the conflict consumer of stores.
+        flag_pred = b.tne(b.load(b.add(b.const(LOOP_FLAG_BASE),
+                                       b.shl(i, imm=3))), imm=2)
+        b.store(store_addr, produced, pred=(flag_pred, True))
+    else:
+        b.store(store_addr, produced)
+
+    # Consumer: the flag chooses the conflicting cell (stored one
+    # iteration earlier, masked) or a private clean cell.
+    flag = b.load(b.add(b.const(LOOP_FLAG_BASE), b.shl(i, imm=3)))
+    prev = b.and_(b.sub(i, imm=1), imm=mask)
+    conflict_addr = b.add(b.const(LOOP_STORE_BASE), b.shl(prev, imm=3))
+    clean_addr = b.add(b.const(LOOP_CLEAN_BASE), b.shl(i, imm=3))
+    addr = b.select(flag, conflict_addr, clean_addr)
+    b.write(REG_ACC, b.add(acc, b.load(addr)))
+
+    i2 = b.add(i, imm=1)
+    b.write(REG_I, i2)
+    b.branch_if(b.tlt(i2, imm=n), "loop", "@halt")
+
+    pb.data_words("clean", LOOP_CLEAN_BASE, clean_values)
+    pb.data_words("flags", LOOP_FLAG_BASE, flags)
+    return pb.build()
+
+
+# ----------------------------------------------------------------------
+# Deterministic corpus sampling
+# ----------------------------------------------------------------------
+
+#: Conflict rates the sampler cycles through (the E7/E9 axis of
+#: interest, biased towards the low-rate regime where predictors
+#: over-serialise).
+_SAMPLE_RATES = (0.0, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0)
+_SAMPLE_WORKING_SETS = (4, 8, 16, 32, 64)
+_SAMPLE_PREDICATION = (0.0, 0.15, 0.3, 0.5)
+
+
+def sample_corpus(count: int, seed: int = 0xE9,
+                  fast: bool = True) -> List[CorpusParams]:
+    """A deterministic sample of ``count`` corpus cells.
+
+    The sample cycles every shape and conflict-rate band while drawing
+    sizes from ``seed``; the same ``(count, seed, fast)`` triple always
+    yields the identical parameter list (and therefore identical
+    programs and identity digests) on every host.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = random.Random(f"repro-corpus-sample/v1|{seed}|{fast}")
+    out: List[CorpusParams] = []
+    for index in range(count):
+        shape = SHAPES[index % len(SHAPES)]
+        if shape == "loop":
+            n_blocks = (rng.randrange(8, 25) if fast
+                        else rng.randrange(32, 97))
+        else:
+            n_blocks = (rng.randrange(3, 7) if fast
+                        else rng.randrange(4, 11))
+        ops = rng.randrange(4, 9) if fast else rng.randrange(6, 13)
+        out.append(CorpusParams(
+            seed=index,
+            shape=shape,
+            n_blocks=n_blocks,
+            ops_per_block=ops,
+            conflict_rate=_SAMPLE_RATES[index % len(_SAMPLE_RATES)],
+            working_set=rng.choice(_SAMPLE_WORKING_SETS),
+            predication=rng.choice(_SAMPLE_PREDICATION),
+        ))
+    return out

@@ -38,9 +38,20 @@ class RandomProgram:
 
 def generate(seed: int, n_blocks: int = 5,
              ops_per_block: int = 8) -> RandomProgram:
-    """Generate a random valid program (deterministic in ``seed``)."""
+    """Generate a random valid program (deterministic in ``seed``).
+
+    Raises :class:`ValueError` on degenerate shapes instead of silently
+    clamping them — a clamped ``n_blocks`` would make two different
+    parameter tuples generate the same program, which breaks the
+    corpus/cache assumption that parameters identify programs.
+    """
+    if n_blocks < 2:
+        raise ValueError(
+            f"n_blocks must be >= 2 (a block plus an exit), got {n_blocks}")
+    if ops_per_block < 1:
+        raise ValueError(
+            f"ops_per_block must be >= 1, got {ops_per_block}")
     rng = random.Random(seed)
-    n_blocks = max(2, n_blocks)
     names = [f"blk{i}" for i in range(n_blocks)]
 
     pb = ProgramBuilder(entry=names[0])

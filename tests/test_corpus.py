@@ -1,0 +1,150 @@
+"""Corpus-generator validity and determinism (repro.workloads.corpus).
+
+The property-based tests draw parameter tuples with hypothesis and check
+the three invariants every corpus cell must satisfy: the generated
+program passes block validation (``build_corpus`` builds it through the
+validating :class:`ProgramBuilder`), the golden interpreter terminates
+on it, and the same parameters always yield the byte-identical program
+and ``identity_digest`` — including across process restarts, which is
+what lets corpus cells live in the shared content-addressed cache.
+
+Also here: the ``randprog.generate`` degenerate-input fix (raises
+``ValueError`` instead of silently clamping).
+"""
+
+import subprocess
+import sys
+import textwrap
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import run_program
+from repro.workloads.corpus import (MAX_OPS_PER_BLOCK, SHAPES, CorpusParams,
+                                    build_corpus, sample_corpus)
+from repro.workloads.randprog import generate
+
+#: Drawn sizes stay small so hypothesis examples run in milliseconds.
+PARAMS_STRATEGY = st.builds(
+    CorpusParams,
+    seed=st.integers(min_value=0, max_value=10_000),
+    shape=st.sampled_from(SHAPES),
+    n_blocks=st.integers(min_value=2, max_value=12),
+    ops_per_block=st.integers(min_value=1, max_value=MAX_OPS_PER_BLOCK),
+    conflict_rate=st.sampled_from([0.0, 0.1, 0.35, 0.75, 1.0]),
+    working_set=st.sampled_from([2, 4, 16, 64, 1024]),
+    predication=st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+)
+
+PROP_SETTINGS = dict(max_examples=30, deadline=None, derandomize=True,
+                     database=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestCorpusValidity:
+    @settings(**PROP_SETTINGS)
+    @given(params=PARAMS_STRATEGY)
+    def test_generated_programs_are_valid_and_terminate(self, params):
+        # build_corpus goes through the validating builder: a block that
+        # exceeds the ISA limits raises there, failing the test with the
+        # offending parameters in the hypothesis falsifying example.
+        instance = build_corpus(params)
+        trace, state = run_program(instance.program,
+                                   instance.initial_regs)
+        assert trace.block_count > 0, params.canonical()
+
+    @settings(**PROP_SETTINGS)
+    @given(params=PARAMS_STRATEGY)
+    def test_same_params_same_program_and_digest(self, params):
+        a = build_corpus(params)
+        b = build_corpus(params)
+        assert str(a.program) == str(b.program), params.canonical()
+        assert a.identity_digest() == b.identity_digest(), \
+            params.canonical()
+
+    def test_different_seeds_differ(self):
+        a = build_corpus(CorpusParams(seed=1))
+        b = build_corpus(CorpusParams(seed=2))
+        assert a.identity_digest() != b.identity_digest()
+
+    def test_digest_stable_across_process_restart(self):
+        params = CorpusParams(seed=3, shape="loop", n_blocks=9,
+                              ops_per_block=4, conflict_rate=0.35,
+                              working_set=8, predication=0.5)
+        expected = build_corpus(params).identity_digest()
+        script = textwrap.dedent(f"""
+            from repro.workloads.corpus import CorpusParams, build_corpus
+            params = CorpusParams(**{dict(
+                seed=params.seed, shape=params.shape,
+                n_blocks=params.n_blocks,
+                ops_per_block=params.ops_per_block,
+                conflict_rate=params.conflict_rate,
+                working_set=params.working_set,
+                predication=params.predication)!r})
+            print(build_corpus(params).identity_digest())
+        """)
+        out = subprocess.run([sys.executable, "-c", script],
+                             capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == expected
+
+    @pytest.mark.parametrize("bad", [
+        dict(shape="spiral"),
+        dict(seed=-1),
+        dict(n_blocks=1),
+        dict(n_blocks=1000),
+        dict(ops_per_block=0),
+        dict(ops_per_block=MAX_OPS_PER_BLOCK + 1),
+        dict(conflict_rate=1.5),
+        dict(predication=-0.1),
+        dict(working_set=12),      # not a power of two
+        dict(working_set=1),
+    ])
+    def test_invalid_params_rejected(self, bad):
+        with pytest.raises(ValueError):
+            CorpusParams(**bad).validate()
+
+    def test_label_and_canonical_are_stable(self):
+        params = CorpusParams()
+        assert params.label() == params.label()
+        assert params.canonical() == params.canonical()
+        assert params.digest() == CorpusParams().digest()
+
+
+class TestSampleCorpus:
+    def test_sample_is_deterministic(self):
+        assert sample_corpus(10, seed=42) == sample_corpus(10, seed=42)
+        assert sample_corpus(10, seed=42) != sample_corpus(10, seed=43)
+
+    def test_sample_covers_every_shape(self):
+        shapes = {p.shape for p in sample_corpus(8)}
+        assert shapes == set(SHAPES)
+
+    def test_sample_params_all_validate(self):
+        for params in sample_corpus(16, seed=5):
+            params.validate()
+        for params in sample_corpus(8, seed=5, fast=False):
+            params.validate()
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            sample_corpus(0)
+
+
+class TestRandprogValidation:
+    def test_degenerate_n_blocks_raises(self):
+        with pytest.raises(ValueError, match="n_blocks"):
+            generate(0, n_blocks=1)
+        with pytest.raises(ValueError, match="n_blocks"):
+            generate(0, n_blocks=0)
+
+    def test_degenerate_ops_per_block_raises(self):
+        with pytest.raises(ValueError, match="ops_per_block"):
+            generate(0, ops_per_block=0)
+        with pytest.raises(ValueError, match="ops_per_block"):
+            generate(0, ops_per_block=-3)
+
+    def test_minimal_valid_shape_still_generates(self):
+        rp = generate(0, n_blocks=2, ops_per_block=1)
+        trace, _ = run_program(rp.program)
+        assert trace.block_count > 0

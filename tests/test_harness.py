@@ -49,7 +49,7 @@ class TestRunner:
 class TestExperiments:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {"t1", "t2", "e1", "e2", "e3", "e4",
-                                    "e5", "e6", "e7", "e8"}
+                                    "e5", "e6", "e7", "e8", "e9"}
 
     def test_t1(self):
         table = table_t1()

@@ -1,0 +1,166 @@
+"""Resumable and shardable sweep regression tests.
+
+Two guarantees from the resumable-sweep layer (repro.harness.journal +
+ParallelRunner journaling):
+
+* **Crash/resume** — a sweep killed mid-plan (a real subprocess dying
+  with ``os._exit`` between cells) resumes with *zero re-executed
+  cells*: the plan journal shows every cache key with at most one
+  ``executed`` line across both runs, and the resumed table is
+  byte-identical to a fresh-root run's.
+* **Sharding** — two shard fills of one plan (``--shard 0/2`` and
+  ``1/2`` semantics via ``ResultCache(shard=...)``) partition the cells
+  exactly; merging the two cache roots renders the same table as an
+  unsharded run, from cache alone.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+import textwrap
+
+import repro
+from repro.harness.cache import ResultCache
+from repro.harness.experiments import corpus_plan, e9_corpus_ordering
+from repro.harness.journal import PlanJournal, journals_under
+from repro.harness.parallel import ParallelRunner
+
+#: The corpus plan both tests sweep: 2 programs x 6 points = 12 cells.
+PLAN_ARGS = dict(fast=True, sample=2, seed=11)
+
+#: Executed-record stores after which the child sweep process dies.
+KILL_AFTER = 5
+
+CHILD_SCRIPT = textwrap.dedent("""
+    import os, sys
+    from repro.harness.cache import ResultCache
+    from repro.harness.experiments import corpus_plan
+    from repro.harness.parallel import ParallelRunner
+
+    root, kills = sys.argv[1], int(sys.argv[2])
+
+    class DyingCache(ResultCache):
+        stores = 0
+        def store(self, key, record):
+            super().store(key, record)
+            DyingCache.stores += 1
+            if DyingCache.stores >= kills:
+                os._exit(9)     # crash hard: no cleanup, no journal line
+
+    plan, _ = corpus_plan(fast=True, sample=2, seed=11)
+    runner = ParallelRunner(jobs=1, cache=DyingCache(root), journal=True)
+    runner.run_plan(plan)
+    os._exit(0)                 # unreachable when kills < len(plan)
+""")
+
+
+def _fresh_table() -> str:
+    with ParallelRunner(jobs=1) as runner:
+        return e9_corpus_ordering(runner=runner, **PLAN_ARGS).render()
+
+
+def _plan_size() -> int:
+    plan, _ = corpus_plan(**PLAN_ARGS)
+    return len(list(plan))
+
+
+class TestCrashResume:
+    def test_killed_sweep_resumes_with_zero_reexecution(self, tmp_path):
+        root = str(tmp_path / "cache")
+        src = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        child = subprocess.run(
+            [sys.executable, "-c", CHILD_SCRIPT, root, str(KILL_AFTER)],
+            env={**os.environ, "PYTHONPATH": src},
+            capture_output=True, text=True)
+        assert child.returncode == 9, child.stderr
+
+        # The crash landed between a cache store and its journal line:
+        # the cache holds KILL_AFTER records, the journal one fewer.
+        digests = journals_under(root)
+        assert len(digests) == 1
+        journal = PlanJournal(root, digests[0])
+        assert journal.manifest() is not None
+        before = journal.summary()
+        assert before["executed_lines"] == KILL_AFTER - 1
+        assert before["reexecuted_cells"] == 0
+
+        # Resume: same plan, same cache root, journal appends.
+        with ParallelRunner(jobs=1, cache=ResultCache(root),
+                            journal=True) as runner:
+            table = e9_corpus_ordering(runner=runner,
+                                       **PLAN_ARGS).render()
+        total = _plan_size()
+        assert runner.cells_from_cache == KILL_AFTER
+        assert runner.cells_executed == total - KILL_AFTER
+
+        # Journal-verified: across both runs no cell executed twice.
+        after = journal.summary()
+        assert after["completed"] == total
+        assert after["reexecuted_cells"] == 0
+        assert all(n == 1
+                   for n in journal.executed_counts().values())
+        assert after["executed_lines"] == total - 1  # the torn cell's
+        # line is missing, but its *work* was cached, never redone.
+
+        # And the rendered table is byte-identical to a fresh run.
+        assert table == _fresh_table()
+
+
+def _merge_cache_roots(dst: str, src: str) -> None:
+    """Union ``src``'s cached records into ``dst`` (simulating two
+    hosts' shard fills being rsynced into one root)."""
+    for name in os.listdir(src):
+        src_dir = os.path.join(src, name)
+        if name == "plans" or not os.path.isdir(src_dir):
+            continue            # journals/session shards stay per-host
+        dst_dir = os.path.join(dst, name)
+        os.makedirs(dst_dir, exist_ok=True)
+        for entry in os.listdir(src_dir):
+            shutil.copy2(os.path.join(src_dir, entry),
+                         os.path.join(dst_dir, entry))
+
+
+class TestShardedFill:
+    def test_two_shards_partition_and_merge(self, tmp_path):
+        roots = [str(tmp_path / "host0"), str(tmp_path / "host1")]
+        outcomes = []
+        for index, root in enumerate(roots):
+            plan, _ = corpus_plan(**PLAN_ARGS)
+            with ParallelRunner(jobs=1,
+                                cache=ResultCache(root,
+                                                  shard=(index, 2)),
+                                journal=True) as runner:
+                outcomes.append(runner.fill_plan(plan))
+
+        total = _plan_size()
+        assert outcomes[0]["plan"] == outcomes[1]["plan"]
+        # Exact partition: every cell executed by exactly one shard,
+        # nothing served from cache, nothing executed twice.
+        assert outcomes[0]["from_cache"] == 0
+        assert outcomes[1]["from_cache"] == 0
+        assert outcomes[0]["executed"] + outcomes[1]["executed"] == total
+        assert outcomes[0]["foreign"] == outcomes[1]["executed"]
+        assert outcomes[1]["foreign"] == outcomes[0]["executed"]
+
+        executed_keys = []
+        for root in roots:
+            journal = PlanJournal(root, outcomes[0]["plan"])
+            executed_keys.append(set(journal.executed_counts()))
+        assert not (executed_keys[0] & executed_keys[1])
+        manifest = PlanJournal(roots[0],
+                               outcomes[0]["plan"]).manifest()
+        all_keys = {cell["key"] for cell in manifest["cells"]}
+        assert executed_keys[0] | executed_keys[1] == all_keys
+
+        # Merge host1's records into host0; the unsharded render comes
+        # entirely from cache and matches a fresh unsharded run.
+        _merge_cache_roots(roots[0], roots[1])
+        with ParallelRunner(jobs=1,
+                            cache=ResultCache(roots[0])) as runner:
+            table = e9_corpus_ordering(runner=runner,
+                                       **PLAN_ARGS).render()
+        assert runner.cells_executed == 0
+        assert runner.cells_from_cache == total
+        assert table == _fresh_table()

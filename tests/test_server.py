@@ -19,7 +19,7 @@ import pytest
 
 from repro.harness import (ParallelRunner, ServerConfig, ServerError,
                            SweepClient, SweepServer)
-from repro.harness.experiments import e1_main
+from repro.harness.experiments import e1_main, e9_corpus_ordering
 from repro.harness.parallel import session_shard_files
 from repro.harness.server import expand_grid, render_grid_table
 
@@ -99,6 +99,20 @@ class TestPlanExecution:
         expected = e1_main(fast=True, runner=ParallelRunner(jobs=1),
                            kernels=["queue", "vecsum"]).render()
         assert served == expected
+
+    def test_e9_corpus_experiment_byte_identical(self, harness):
+        # The corpus experiment runs in server experiment mode and
+        # renders the exact table an in-process run would.
+        request = {"experiment": "e9", "fast": True, "sample": 2}
+        served = harness.client.run(request, timeout=300)
+        expected = e9_corpus_ordering(
+            fast=True, sample=2, runner=ParallelRunner(jobs=1)).render()
+        assert served == expected
+
+    def test_e9_bad_sample_rejected(self, harness):
+        with pytest.raises(ServerError) as info:
+            harness.client.submit({"experiment": "e9", "sample": 0})
+        assert info.value.status == 400
 
     def test_second_run_served_from_cache(self, harness):
         harness.client.run(GRID, timeout=120)
