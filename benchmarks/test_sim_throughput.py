@@ -21,6 +21,13 @@ Environment knobs:
   (minutes) instead of the pinned CI subset at test scales (seconds).
 * ``BENCH_UPDATE_BASELINE=1`` — rewrite ``benchmarks/BENCH_baseline.json``
   with this run's numbers instead of gating against it.
+* ``BENCH_SPECIALIZE=0`` — run the grid with block specialization off
+  (report only: no baseline gate, no baseline update).  CI runs the grid
+  in both modes and asserts the per-cell digests/cycles/instruction
+  counts are identical — the specialized path must be exactly behavior
+  preserving.
+* ``BENCH_OUTPUT=<path>`` — write the report somewhere other than
+  ``BENCH_sim.json`` (CI uses it to keep the two modes' reports apart).
 """
 
 import json
@@ -30,7 +37,8 @@ import time
 from pathlib import Path
 
 from repro.arch import run_program
-from repro.harness import (ParallelRunner, SweepPlan, reset_golden_memo)
+from repro.harness import (ParallelRunner, SweepPlan, arch_state_digest,
+                           reset_golden_memo)
 from repro.harness.runner import POINT_ORDER, golden_of, run_point
 from repro.workloads import KERNELS
 
@@ -49,7 +57,11 @@ REGRESSION_TOLERANCE = 0.20
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
-OUTPUT_PATH = REPO_ROOT / "BENCH_sim.json"
+OUTPUT_PATH = REPO_ROOT / os.environ.get("BENCH_OUTPUT", "BENCH_sim.json")
+
+#: Grid-wide config overrides (BENCH_SPECIALIZE=0 → interpreted path).
+SPECIALIZE = os.environ.get("BENCH_SPECIALIZE") != "0"
+OVERRIDES = {} if SPECIALIZE else {"specialize": False}
 
 
 def _calibration_rate() -> float:
@@ -80,30 +92,51 @@ def test_simulator_throughput_grid():
 
     cells = {}
     rates = []
+    kernel_rates = {}
     for name, instance in _grid_instances(full):
         golden_of(instance)                  # exclude golden from timing
         for point in BENCH_POINTS:
-            run_point(instance, point)       # warm (templates, caches)
+            run_point(instance, point,       # warm (templates, caches)
+                      **OVERRIDES)
             best = None
             for _ in range(2):
                 t0 = time.perf_counter()
-                result = run_point(instance, point)
+                result = run_point(instance, point, **OVERRIDES)
                 dt = time.perf_counter() - t0
                 if best is None or dt < best:
                     best = dt
             rate = result.stats.committed_instructions / best
             cells[f"{name}/{point}"] = {
                 "insts": result.stats.committed_instructions,
+                "cycles": result.stats.cycles,
+                "digest": arch_state_digest(result.arch),
                 "secs": round(best, 6),
                 "rate": round(rate, 1),
             }
             rates.append(rate)
+            kernel_rates.setdefault(name, []).append(rate)
 
     geomean = math.exp(sum(math.log(r) for r in rates) / len(rates))
     normalized = geomean / calibration
+    # Per-kernel normalized throughput: each kernel's geomean rate across
+    # the machine points, divided by the same functional-interpreter
+    # calibration — comparable across hosts, and it names which kernel a
+    # grid-level regression comes from.
+    kernels = {
+        name: {
+            "geomean_rate": round(
+                math.exp(sum(math.log(r) for r in krs) / len(krs)), 1),
+            "normalized": round(
+                math.exp(sum(math.log(r) for r in krs) / len(krs))
+                / calibration, 5),
+        }
+        for name, krs in kernel_rates.items()
+    }
     report = {
         "full": full,
+        "specialize": SPECIALIZE,
         "cells": cells,
+        "kernels": kernels,
         "geomean_rate": round(geomean, 1),
         "calibration_rate": round(calibration, 1),
         "normalized": round(normalized, 5),
@@ -111,6 +144,10 @@ def test_simulator_throughput_grid():
     OUTPUT_PATH.write_text(json.dumps(report, indent=1, sort_keys=True)
                            + "\n")
 
+    if not SPECIALIZE:
+        # Off-mode runs exist for the CI digest-equality check; only the
+        # default (specialized) configuration is baseline-gated.
+        return
     if update:
         BASELINE_PATH.write_text(
             json.dumps(report, indent=1, sort_keys=True) + "\n")

@@ -85,35 +85,49 @@ class TokenBuffer:
     # ------------------------------------------------------------------
 
     def deposit(self, token: Token) -> Tuple[bool, bool]:
-        """Absorb a token; return ``(effective_changed, finality_changed)``.
+        """Absorb a token; return ``(effective_changed, finality_changed)``."""
+        return self.deposit4(token.producer, token.wave, token.value,
+                             token.final)
 
-        Stale tokens (lower wave than already seen from the same producer)
-        are dropped — they lost a race against a newer re-execution.
+    def deposit4(self, producer: ProducerKey, wave: int, value: TokenValue,
+                 final: bool) -> Tuple[bool, bool]:
+        """Scalar-argument :meth:`deposit` — the specialized token path
+        carries token fields as flat tuple slots, so the buffer absorbs
+        them without a Token shell.  Semantics are identical: stale tokens
+        (lower wave than already seen from the same producer) are dropped —
+        they lost a race against a newer re-execution.
         """
-        producer = token.producer
-        if producer not in self._order:
-            raise SimulationError(
-                f"token from unknown producer {producer}: {token}")
         current = self._latest.get(producer)
-        if current is not None and token.wave < current.wave:
-            return False, False
         was_final = self._final
-        if current is not None and token.wave == current.wave:
-            if current.value != token.value:
+        if current is None:
+            # A producer in ``_latest`` was necessarily validated on its
+            # first deposit, so the membership check is first-token-only.
+            if producer not in self._order:
+                raise SimulationError(
+                    f"token from unknown producer {producer} "
+                    f"(wave {wave}, value {value!r})")
+            current = self._latest[producer] = _Latest(wave, value, final)
+        elif wave < current.wave:
+            return False, False
+        elif wave == current.wave:
+            if current.value != value:
                 raise SimulationError(
                     f"producer {producer} sent two different values at "
-                    f"wave {token.wave}")
-            if current.final or not token.final:
+                    f"wave {wave}")
+            if current.final or not final:
                 return False, False
             current.final = True
-        elif current is not None:
-            # Higher wave from a known producer: update in place.
-            current.wave = token.wave
-            current.value = token.value
-            current.final = token.final
+            if len(self._order) == 1:
+                # Finality upgrade on the sole producer: the effective
+                # snapshot (status/value/producer/wave) is untouched —
+                # only ``_final`` flips.  Skip the refresh entirely.
+                self._final = True
+                return False, not was_final
         else:
-            self._latest[producer] = _Latest(
-                token.wave, token.value, token.final)
+            # Higher wave from a known producer: update in place.
+            current.wave = wave
+            current.value = value
+            current.final = final
         # Refresh ``_effective`` and ``_final`` in one pass over ``_latest``
         # (inline: deposit is the only mutation point and the hottest call
         # in the token path).
@@ -121,18 +135,17 @@ class TokenBuffer:
         if len(order) == 1:
             # Single static producer (the common case): the effective
             # state mirrors its latest token directly.
-            latest = self._latest[producer]
             old = self._effective
-            if latest.value is not None:
-                effective = Effective(SlotStatus.VALUE, latest.value,
-                                      producer, latest.wave)
+            if current.value is not None:
+                effective = Effective(SlotStatus.VALUE, current.value,
+                                      producer, current.wave)
             else:
                 effective = Effective(SlotStatus.ALL_NULL)
             self._effective = effective
-            self._final = latest.final
+            self._final = current.final
             return ((old.status is not effective.status
                      or old.value != effective.value),
-                    latest.final and not was_final)
+                    current.final and not was_final)
         best: Optional[Tuple[int, int]] = None
         best_latest = None
         best_producer: Optional[ProducerKey] = None

@@ -32,7 +32,8 @@ from typing import Dict, List, Optional, Tuple
 from ..errors import SimulationError
 from ..isa.instruction import Instruction, Slot
 from ..isa.opcodes import Opcode
-from ..isa.semantics import effective_address, evaluate_alu
+from ..isa.semantics import alu_callable, effective_address
+from ..isa.values import WORD_MASK
 from ..isa.values import is_true, to_unsigned
 from .buffers import EMPTY_EFFECTIVE, Effective, SlotStatus, TokenBuffer
 from .tokens import ProducerKey, Token, TokenValue
@@ -78,9 +79,13 @@ _PLAN_ALU = 4
 
 def _exec_plan(inst: Instruction) -> Tuple:
     """Static dispatch data for ``_compute_outcome``: the outcome kind,
-    predicate sense, address immediate, unsigned value immediate, opcode
-    and branch target — everything that never changes between waves."""
+    predicate sense, address immediate, unsigned value immediate, the
+    resolved ALU callable (compute opcodes only — one call per execution
+    instead of an enum-keyed dispatch, whose Python-level ``__hash__``
+    shows up at this frequency) and branch target — everything that never
+    changes between waves."""
     opcode = inst.opcode
+    alu = None
     if opcode is Opcode.BRO:
         kind = _PLAN_BRANCH
     elif opcode is Opcode.LOAD:
@@ -91,9 +96,10 @@ def _exec_plan(inst: Instruction) -> Tuple:
         kind = _PLAN_MOVI
     else:
         kind = _PLAN_ALU
+        alu = alu_callable(opcode)
     imm = inst.imm
     imm_u = to_unsigned(imm) if imm is not None else None
-    return (kind, inst.pred, imm or 0, imm_u, opcode, inst.branch_target)
+    return (kind, inst.pred, imm or 0, imm_u, alu, inst.branch_target)
 
 
 class InstructionNode:
@@ -281,13 +287,17 @@ class InstructionNode:
         sig = self._sig_cache
         if sig is not None:
             return sig
+        # Positional entries (``_sig_slots`` order is fixed per node, so
+        # the slot tags carry no information): ``(producer, wave)`` for a
+        # resolved value, ``None`` otherwise.  Equality between two
+        # signatures of the same node is unchanged by the slimmer shape.
         parts = []
-        for slot, buffer in zip(self._sig_slots, self._buffer_list):
+        for buffer in self._buffer_list:
             eff = buffer._effective
             if eff.status is SlotStatus.VALUE:
-                parts.append((slot, (eff.producer, eff.wave)))
+                parts.append((eff.producer, eff.wave))
             else:
-                parts.append((slot, None))
+                parts.append(None)
         sig = tuple(parts)
         self._sig_cache = sig
         return sig
@@ -358,7 +368,7 @@ class InstructionNode:
                 return _NULL_OUTCOME
         # Static per-instruction dispatch data, precomputed once (see
         # ``_exec_plan``): avoids the opcode-property chain per execution.
-        kind, pred, addr_imm, imm_u, opcode, branch_target = self._plan
+        kind, pred, addr_imm, imm_u, alu, branch_target = self._plan
         if pred is not None:
             if is_true(self._buf_value(self._pred_buf, Slot.PRED)) != pred:
                 return _NULL_OUTCOME
@@ -371,7 +381,7 @@ class InstructionNode:
             else:
                 op1 = 0
             return Outcome(OutcomeKind.VALUE,
-                           value=evaluate_alu(opcode, op0, op1))
+                           value=alu(op0 & WORD_MASK, op1 & WORD_MASK))
         if kind == _PLAN_LOAD:
             addr = effective_address(
                 self._buf_value(self._op0_buf, Slot.OP0), addr_imm)

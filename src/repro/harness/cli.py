@@ -69,6 +69,9 @@ def _print_session_metrics(root: str) -> None:
           f"({m.get('golden_runs_per_kernel', 0.0):.2f} per kernel)")
     print(f"  worker pool     {m.get('pool_spinups', 0)} spinups, "
           f"{m.get('pool_reuses', 0)} reuses")
+    print(f"  specialization  {m.get('specialize_hits', 0)} hits, "
+          f"{m.get('specialize_misses', 0)} misses, "
+          f"{m.get('specialize_declined', 0)} declined")
 
 
 def _cache_command(args: List[str], root: str) -> int:
@@ -262,6 +265,12 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--profile-top", type=int, default=25, metavar="N",
                         help="rows of profile output with --profile "
                              "(default: %(default)s)")
+    parser.add_argument("--profile-sort", default="cumulative",
+                        choices=("cumulative", "tottime"),
+                        help="profile row ordering with --profile: "
+                             "'cumulative' surfaces call-tree roots, "
+                             "'tottime' surfaces hot leaf functions "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
 
     if args.experiments[0] == "cache":
@@ -300,6 +309,10 @@ def main(argv: List[str] = None) -> int:
     profiler = None
     if args.profile:
         import cProfile
+        if args.jobs and args.jobs != 1:
+            print(f"[--profile forces --jobs 1 (requested {args.jobs}): "
+                  "cProfile only sees this process, so pooled workers "
+                  "would profile as idle waits]")
         profiler = cProfile.Profile()
         profiler.enable()
 
@@ -318,7 +331,7 @@ def main(argv: List[str] = None) -> int:
         profiler.disable()
         print()
         stats = pstats.Stats(profiler, stream=sys.stdout)
-        stats.strip_dirs().sort_stats("cumulative")
+        stats.strip_dirs().sort_stats(args.profile_sort)
         stats.print_stats(args.profile_top)
     return 0
 

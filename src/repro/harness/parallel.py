@@ -62,7 +62,16 @@ SESSION_METRICS_FILE = "session.json"
 #: Session-shard counters that sum across processes when merging.
 _SESSION_SUM_KEYS = ("plans_run", "cells_executed", "cells_from_cache",
                      "kernels_executed", "golden_fresh_runs",
-                     "golden_memo_hits", "pool_spinups", "pool_reuses")
+                     "golden_memo_hits", "pool_spinups", "pool_reuses",
+                     "specialize_hits", "specialize_misses",
+                     "specialize_declined")
+
+#: Block-specialization counters lifted from executed cells' SimStats
+#: (cached cells are excluded — they did no specialization work in this
+#: session, and their recorded counters describe whichever run produced
+#: them).
+_SPECIALIZE_KEYS = ("specialize_hits", "specialize_misses",
+                    "specialize_declined")
 
 
 def session_shard_path(root: str, pid: Optional[int] = None) -> str:
@@ -361,6 +370,12 @@ class ParallelRunner:
         self.golden_fresh = 0
         self.golden_memo_hits = 0
         self.pool_reuses = 0
+        #: Block-specialization activity summed over *executed* cells.
+        self.specialize_hits = 0
+        self.specialize_misses = 0
+        self.specialize_declined = 0
+        self._plan_specialize: Dict[str, int] = \
+            dict.fromkeys(_SPECIALIZE_KEYS, 0)
         #: Metrics of the most recent :meth:`run_plan` call.
         self.last_metrics: Optional[SweepMetrics] = None
 
@@ -392,8 +407,10 @@ class ParallelRunner:
                 if result is not None:
                     journal.record(index, keys[index], "cache")
 
+        self._plan_specialize = dict.fromkeys(_SPECIALIZE_KEYS, 0)
         for index, record in self._execute(cells, digests, pending):
             self._admit(keys[index], record)
+            self._note_specialize(record)
             if journal is not None:
                 journal.record(index, keys[index], "executed")
             results[index] = result_from_record(record, from_cache=False)
@@ -445,8 +462,10 @@ class ParallelRunner:
                 journal.record(index, keys[index], "cache")
 
         executed = 0
+        self._plan_specialize = dict.fromkeys(_SPECIALIZE_KEYS, 0)
         for index, record in self._execute(cells, digests, owned):
             self._admit(keys[index], record)
+            self._note_specialize(record)
             if journal is not None:
                 journal.record(index, keys[index], "executed")
             executed += 1
@@ -589,15 +608,27 @@ class ParallelRunner:
 
     # -- metrics --------------------------------------------------------
 
+    def _note_specialize(self, record: dict) -> None:
+        """Fold one executed cell's specialization counters into the
+        per-plan sums (consumed by :meth:`_account_plan`)."""
+        stats = record["result"]["stats"]
+        plan = self._plan_specialize
+        for key in _SPECIALIZE_KEYS:
+            plan[key] += int(stats.get(key, 0))
+
     def _account_plan(self, cells: int, executed: int,
                       wall: float) -> None:
         kernels = self._plan_kernels
         fresh = self._plan_golden_fresh
+        spec = self._plan_specialize
         self.plans_run += 1
         self.wall_seconds += wall
         self.kernels_executed += kernels
         self.golden_fresh += fresh
         self.golden_memo_hits += self._plan_golden_hits
+        self.specialize_hits += spec["specialize_hits"]
+        self.specialize_misses += spec["specialize_misses"]
+        self.specialize_declined += spec["specialize_declined"]
         self.last_metrics = SweepMetrics(
             cells=cells,
             executed=executed,
@@ -612,6 +643,9 @@ class ParallelRunner:
             pool_spinups=self.pool.spinups if self.pool else 0,
             pool_reuses=self.pool_reuses,
             inflight_dedup_hits=getattr(self, "_plan_dedup_hits", 0),
+            specialize_hits=spec["specialize_hits"],
+            specialize_misses=spec["specialize_misses"],
+            specialize_declined=spec["specialize_declined"],
         )
         self._write_session_metrics()
 
@@ -631,6 +665,9 @@ class ParallelRunner:
                 if self.kernels_executed else 0.0,
             "pool_spinups": self.pool.spinups if self.pool else 0,
             "pool_reuses": self.pool_reuses,
+            "specialize_hits": self.specialize_hits,
+            "specialize_misses": self.specialize_misses,
+            "specialize_declined": self.specialize_declined,
             "last_plan": self.last_metrics.as_dict()
             if self.last_metrics else None,
         }

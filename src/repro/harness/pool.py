@@ -275,6 +275,11 @@ class SweepMetrics:
     #: Cells of this plan that were not executed *or* cached but joined
     #: an execution already in flight for another plan (sweep server).
     inflight_dedup_hits: int = 0
+    #: Block-specialization code-cache activity summed over this plan's
+    #: *executed* cells (repro.uarch.specialize; cached cells excluded).
+    specialize_hits: int = 0
+    specialize_misses: int = 0
+    specialize_declined: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -291,4 +296,7 @@ class SweepMetrics:
             "pool_spinups": self.pool_spinups,
             "pool_reuses": self.pool_reuses,
             "inflight_dedup_hits": self.inflight_dedup_hits,
+            "specialize_hits": self.specialize_hits,
+            "specialize_misses": self.specialize_misses,
+            "specialize_declined": self.specialize_declined,
         }

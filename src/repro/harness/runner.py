@@ -76,6 +76,26 @@ def golden_of(instance: KernelInstance) -> ExecutionTrace:
     return trace
 
 
+def arena_of(instance: KernelInstance) -> Dict[str, list]:
+    """A per-instance frame arena, shared across this kernel's runs.
+
+    Same memo discipline as :func:`golden_of`: keyed by the instance's
+    identity digest so mutating the program drops the parked frames
+    (their ``block`` references would be stale).  Sharing the arena
+    across machine points is the sweep harness's idiom (one arena per
+    program object); ``Frame.reset_for_reuse`` restores every mutable
+    field, so results are byte-identical to fresh allocation
+    (tests/test_arena.py).
+    """
+    digest = instance.identity_digest()
+    cached = getattr(instance, "_arena_cache", None)
+    if isinstance(cached, tuple) and len(cached) == 2 and cached[0] == digest:
+        return cached[1]
+    arena: Dict[str, list] = {}
+    instance._arena_cache = (digest, arena)
+    return arena
+
+
 def run_point(instance: KernelInstance, point: str,
               base: Optional[MachineConfig] = None,
               **overrides) -> SimResult:
@@ -85,7 +105,7 @@ def run_point(instance: KernelInstance, point: str,
         dependence_policy=policy, recovery=recovery, **overrides)
     golden = golden_of(instance)
     processor = Processor(instance.program, config, instance.initial_regs,
-                          golden=golden)
+                          golden=golden, frame_arena=arena_of(instance))
     result = processor.run()
     problems = instance.check(processor.arch)
     if problems:

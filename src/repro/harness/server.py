@@ -347,7 +347,8 @@ class SweepServer:
         self._work_tasks: Set[asyncio.Task] = set()
         self._session_totals: Dict[str, float] = {key: 0 for key in (
             "plans_run", "cells_executed", "cells_from_cache",
-            "wall_seconds", "pool_reuses")}
+            "wall_seconds", "pool_reuses", "specialize_hits",
+            "specialize_misses", "specialize_declined")}
         self._last_plan_metrics: Optional[dict] = None
         self._plan_counter = itertools.count(1)
         self._serving = threading.Event()
@@ -454,6 +455,9 @@ class SweepServer:
                 if kernels else 0.0),
             "pool_spinups": self.pool.spinups,
             "pool_reuses": int(totals["pool_reuses"]),
+            "specialize_hits": int(totals["specialize_hits"]),
+            "specialize_misses": int(totals["specialize_misses"]),
+            "specialize_declined": int(totals["specialize_declined"]),
             "last_plan": self._last_plan_metrics,
         })
 
@@ -603,6 +607,9 @@ class SweepServer:
         totals["cells_from_cache"] += runner.cells_from_cache
         totals["wall_seconds"] += runner.wall_seconds
         totals["pool_reuses"] += runner.pool_reuses
+        totals["specialize_hits"] += runner.specialize_hits
+        totals["specialize_misses"] += runner.specialize_misses
+        totals["specialize_declined"] += runner.specialize_declined
         if runner.last_metrics is not None:
             self._last_plan_metrics = runner.last_metrics.as_dict()
 
@@ -769,6 +776,13 @@ class SweepServer:
                 "golden": {
                     "fresh": self.counters["golden_fresh"],
                     "memo_hits": self.counters["golden_memo_hits"],
+                },
+                "specialize": {
+                    "hits": int(self._session_totals["specialize_hits"]),
+                    "misses":
+                        int(self._session_totals["specialize_misses"]),
+                    "declined":
+                        int(self._session_totals["specialize_declined"]),
                 },
                 "batches": self.counters["batches"],
                 "chunks": self.counters["chunks"],

@@ -74,6 +74,16 @@ class Block:
         self._frame_template = None
         #: LSQ registration template (see repro.uarch.lsq).
         self._lsq_template = None
+        #: Specialized activation plans, one per machine point (bounded
+        #: LRU; see repro.uarch.specialize).
+        self._plan_cache = None
+        #: Set by a successful :meth:`validate`; mutation goes through the
+        #: builders, which call :meth:`invalidate_caches` (clearing this),
+        #: so re-validating an unchanged block is a no-op.  This is what
+        #: keeps the derived caches above alive across processor
+        #: constructions — each ``Processor.__init__`` re-validates its
+        #: program defensively.
+        self._validated = False
 
     # ------------------------------------------------------------------
     # Derived structure
@@ -142,6 +152,8 @@ class Block:
         self._slot_producers = None
         self._frame_template = None
         self._lsq_template = None
+        self._plan_cache = None
+        self._validated = False
 
     # ------------------------------------------------------------------
     # Validation
@@ -149,6 +161,8 @@ class Block:
 
     def validate(self) -> None:
         """Check every structural EDGE constraint; raise on violation."""
+        if self._validated:
+            return
         self.invalidate_caches()
         lim = self.limits
         err = lambda msg: (_ for _ in ()).throw(
@@ -168,6 +182,7 @@ class Block:
         self._validate_instructions(err)
         self._validate_wiring(err)
         self._validate_acyclic(err)
+        self._validated = True
 
     def _validate_interface(self, err) -> None:
         seen_write_regs = set()

@@ -67,6 +67,22 @@ _UNARY: Dict[Opcode, Callable[[int], int]] = {
 }
 
 
+def alu_callable(opcode: Opcode) -> Callable[[int, int], int]:
+    """A uniform ``(op0, op1) -> value`` callable for a compute opcode.
+
+    Resolves the unary/binary dispatch once so per-execution evaluation
+    is a single call on pre-masked carriers (callers mask with
+    ``WORD_MASK``, exactly as :func:`evaluate_alu` does internally).
+    """
+    fn2 = _BINARY.get(opcode)
+    if fn2 is not None:
+        return fn2
+    fn1 = _UNARY.get(opcode)
+    if fn1 is not None:
+        return lambda a, b: fn1(a)
+    raise KeyError(f"alu_callable cannot evaluate {opcode}")
+
+
 def evaluate_alu(opcode: Opcode, op0: int = 0, op1: int = 0) -> int:
     """Evaluate a non-memory, non-branch opcode on carrier values.
 

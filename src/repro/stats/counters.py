@@ -46,6 +46,16 @@ class SimStats:
     occupancy_samples: int = 0
     occupancy_total: int = 0
 
+    # Block-specialization code cache (repro.uarch.specialize):
+    # plan-backed activations, cold plan resolutions (this run's first
+    # activation of each block — deterministic per run, regardless of
+    # shared-cache warmth), and activations that fell back to the
+    # interpreted path while the ``specialize`` knob was on.  All three
+    # stay zero with the knob off.
+    specialize_hits: int = 0
+    specialize_misses: int = 0
+    specialize_declined: int = 0
+
     @property
     def ipc(self) -> float:
         """Committed useful instructions per cycle."""

@@ -111,6 +111,11 @@ class Frame:
         #: Block name actually fetched after this frame (for redirects).
         self.fetched_next: Optional[str] = None
         self.mapped_cycle = 0
+        #: Specialized activation plan (repro.uarch.specialize), attached
+        #: by ``Processor._map_frame`` on every map — including recycled
+        #: frames, which may have been parked under a different machine
+        #: point.  ``None`` selects the interpreted paths.
+        self.plan = None
 
     # ------------------------------------------------------------------
 
@@ -146,6 +151,7 @@ class Frame:
         self.predicted_next = None
         self.fetched_next = None
         self.mapped_cycle = 0
+        self.plan = None
 
     def node_of_lsid(self, lsid: int) -> InstructionNode:
         return self.nodes[self.lsid_to_index[lsid]]

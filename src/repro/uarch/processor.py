@@ -46,6 +46,7 @@ from .lsq import Confirmed, LoadResponse, LoadStoreQueue, Violation
 from .network import Message, MsgKind, OperandNetwork
 from .predictor import build_predictor
 from .recovery import build_recovery
+from .specialize import FLAT_KIND_NAMES, machine_point_key, plan_for
 from .tile import ExecTile
 
 #: Arena bounds: retired frames kept per block, and pooled Token/Message
@@ -53,6 +54,21 @@ from .tile import ExecTile
 #: miss simply falls back to fresh allocation.
 _FRAME_ARENA_CAP = 8
 _SHELL_POOL_CAP = 512
+
+#: Sentinel "no tile work scheduled" cycle (past any legal max_cycles).
+_NEVER = 1 << 62
+
+#: Message-kind singletons, prebound so the delivery sweep's dispatch
+#: compares against module globals instead of rebinding enum members
+#: on every call.
+_K_TOKEN = MsgKind.TOKEN
+_K_LOAD_REQ = MsgKind.LOAD_REQ
+_K_STORE_UPD = MsgKind.STORE_UPD
+_K_LOAD_RESP = MsgKind.LOAD_RESP
+
+#: Distinguishes "block not seen yet" from a cached decline (``None``) in
+#: the per-processor plan memo.
+_MISSING = object()
 
 
 @dataclass(slots=True)
@@ -178,6 +194,12 @@ class Processor:
         #: loop ticks or polls.  A tile enters on enqueue and leaves when
         #: observed drained; a drained tile cannot schedule work by itself.
         self._active_tiles: set = set()
+        #: Earliest cycle at which the tile walk has any work (a ready
+        #: entry or a due completion).  Maintained by ``_next_event_cycle``
+        #: and forced to "now" by ``_enqueue``; lets ``run`` skip
+        #: ``_tick_tiles`` on cycles where every active tile is merely
+        #: counting down an FU.
+        self._tiles_due = 0
 
         self.frames: List[Frame] = []            # oldest first
         self.frames_by_uid: Dict[int, Frame] = {}
@@ -234,6 +256,16 @@ class Processor:
         self._recycle = recycle_frames
         self._frame_arena: Dict[str, List[Frame]] = (
             frame_arena if frame_arena is not None else {})
+        #: Block specialization (repro.uarch.specialize): compiled
+        #: activation plans fetched per block at first map, memoized
+        #: per processor (``None`` = declined, interpreted fallback).
+        #: The machine-point key is derived once — plans are shared
+        #: across processors through the per-block LRU cache, but always
+        #: re-fetched per processor because the config may differ.
+        self._specialize = self.config.specialize
+        self._spec_key = (machine_point_key(self.config)
+                          if self._specialize else None)
+        self._block_plans: Dict[str, object] = {}
         self._token_pool: List[Token] = []
         self._msg_pool: List[Message] = []
         #: Recycling counters (plain attributes — SimStats is pinned by
@@ -262,7 +294,21 @@ class Processor:
         config = self.config
         max_cycles = config.max_cycles
         watchdog = config.watchdog_cycles
+        bandwidth = config.port_bandwidth
         lsq = self.lsq
+        network = self.network
+        heap = network._heap        # in-place heap, never reassigned
+        netstats = network.stats
+        port_use = network._port_use
+        frames_by_uid = self.frames_by_uid
+        tiles = self.tiles
+        active_tiles = self._active_tiles
+        stats = self.stats
+        op_latency = self._op_latency
+        latency_fn = self._node_latency
+        hooks = self.hooks
+        pop = heapq.heappop
+        push = heapq.heappush
         while not self.done:
             # Advance to the next event cycle.  Nothing runs between the
             # previous iteration's memoized scan and this point, so the
@@ -277,9 +323,164 @@ class Processor:
                 else cycle + 1
             self.cycle = cycle
             lsq.now = cycle
-            self._deliver_messages()
-            if self._active_tiles:
-                self._tick_tiles()
+            # Send paths read ``network.now`` even on cycles with no
+            # arrivals, so the clock always advances; the delivery sweep
+            # itself only runs when something is due.
+            network.now = cycle
+
+            # --- Delivery sweep (fused copy of ``_deliver_messages``;
+            # keep the two in step).  Fusion hoists the per-call preamble
+            # out of the loop — measurably faster on token-dense kernels.
+            if heap and heap[0][0] <= cycle:
+                if cycle != network._port_cycle:
+                    port_use.clear()
+                    network._port_cycle = cycle
+                while heap and heap[0][0] <= cycle:
+                    arrive, seq, msg = pop(heap)
+                    if type(msg) is tuple:
+                        dest = msg[1]
+                        used = port_use.get(dest, 0)
+                        if used >= bandwidth:
+                            netstats.contention_slips += 1
+                            push(heap, (cycle + 1, seq, msg))
+                            continue
+                        port_use[dest] = used + 1
+                        netstats.delivered += 1
+                        netstats.total_latency += cycle - (arrive - 1)
+                        code = msg[0]
+                        if hooks is not None:
+                            hooks.on_deliver(cycle, FLAT_KIND_NAMES[code])
+                        if code == 0:             # instruction operand
+                            frame = frames_by_uid.get(msg[2])
+                            if frame is None:
+                                continue
+                            node = frame.nodes[msg[3]]
+                            buffer = node._buffer_list[msg[4]]
+                            node._sig_cache = None
+                            changed, finality = buffer.deposit4(
+                                msg[5], msg[6], msg[7], msg[8])
+                            if changed or finality:
+                                self._on_node_event(frame, node)
+                        elif code == 1:           # write slot
+                            frame = frames_by_uid.get(msg[2])
+                            if frame is not None:
+                                self._deposit_write_flat(
+                                    frame, msg[3], msg[4], msg[5], msg[6],
+                                    msg[7])
+                        elif code == 2:           # branch unit
+                            frame = frames_by_uid.get(msg[2])
+                            if frame is not None:
+                                self._deposit_branch_flat(
+                                    frame, msg[3], msg[4], msg[5], msg[6])
+                        elif code == 3:
+                            self._deliver_load_req(msg[2])
+                        else:
+                            self._deliver_store_upd(msg[2])
+                        continue
+                    dest = msg.dest
+                    used = port_use.get(dest, 0)
+                    if used >= bandwidth:
+                        netstats.contention_slips += 1
+                        push(heap, (cycle + 1, seq, msg))
+                        continue
+                    port_use[dest] = used + 1
+                    netstats.delivered += 1
+                    netstats.total_latency += cycle - (arrive - 1)
+                    kind = msg.kind
+                    if hooks is not None:
+                        hooks.on_deliver(cycle, kind.name)
+                    if kind is _K_TOKEN:
+                        self._deliver_token(msg.payload)
+                        if self._recycle \
+                                and len(self._token_pool) < _SHELL_POOL_CAP:
+                            self._token_pool.append(msg.payload)
+                    elif kind is _K_LOAD_REQ:
+                        self._deliver_load_req(msg.payload)
+                    elif kind is _K_STORE_UPD:
+                        self._deliver_store_upd(msg.payload)
+                    elif kind is _K_LOAD_RESP:
+                        self._deliver_load_resp(msg.payload)
+                    else:
+                        self._deliver_reg_fwd(msg.payload)
+                    if self._recycle \
+                            and len(self._msg_pool) < _SHELL_POOL_CAP:
+                        self._msg_pool.append(msg)
+
+            # --- Tile walk (fused copy of ``_tick_tiles``; keep the two
+            # in step).
+            if active_tiles and self._tiles_due <= cycle:
+                drained = None
+                for index in sorted(active_tiles):
+                    tile = tiles[index]
+                    executing = tile._executing
+                    while executing and executing[0][0] <= cycle:
+                        entry = pop(executing)
+                        node = entry[2]
+                        if entry[3] != node.life:
+                            continue
+                        frame = frames_by_uid.get(node.frame_uid)
+                        if frame is None:
+                            continue
+                        outcome = node.complete_execution()
+                        stats.executions += 1
+                        if node.exec_count > 1:
+                            stats.reexecutions += 1
+                        final = node.output_final_ready()
+                        self._emit_node_output(frame, node, outcome, final)
+                        if node.needs_reissue():
+                            self._enqueue(frame, node)
+                    ready = tile._ready
+                    if ready:
+                        queued = tile._queued
+                        width = tile.issue_width
+                        issued = 0
+                        while ready and issued < width:
+                            entry = pop(ready)
+                            node = entry[3]
+                            life = entry[4]
+                            if life != node.life:
+                                continue
+                            if queued.get(node) == life:
+                                del queued[node]
+                            if node.frame_uid not in frames_by_uid:
+                                continue
+                            if node.state is not NodeState.IDLE:
+                                continue
+                            for b in node._buffer_list:
+                                if b._effective.status is SlotStatus.EMPTY:
+                                    break
+                            else:
+                                sig = node.current_signature()
+                                if node.exec_count != 0 \
+                                        and sig == node.issued_signature:
+                                    continue
+                                node.state = NodeState.EXECUTING
+                                node.issued_signature = sig
+                                node.exec_count += 1
+                                latency = op_latency.get(id(node.inst))
+                                if latency is None:
+                                    latency = latency_fn(node)
+                                tile._push_seq += 1
+                                push(executing,
+                                     (cycle + latency, tile._push_seq, node,
+                                      life))
+                                issued += 1
+                                if hooks is not None:
+                                    hooks.on_issue(cycle, node.frame_uid,
+                                                   node.index,
+                                                   node.inst.opcode.value,
+                                                   node.exec_count)
+                    if not (ready or executing):
+                        if drained is None:
+                            drained = [index]
+                        else:
+                            drained.append(index)
+                if drained is not None:
+                    for index in drained:
+                        tile = tiles[index]
+                        if not (tile._ready or tile._executing):
+                            active_tiles.discard(index)
+
             inflight = self.fetch_inflight
             if inflight is None or cycle >= inflight[1]:
                 self._tick_fetch()
@@ -321,12 +522,18 @@ class Processor:
         for index in self._active_tiles:
             tile = tiles[index]
             if tile._ready:
+                self._tiles_due = self.cycle + 1
                 return self.cycle + 1
             executing = tile._executing
             if executing:
                 completion = executing[0][0]
                 if best is None or completion < best:
                     best = completion
+        # No ready entries anywhere: the tile walk next does work at the
+        # earliest FU completion.  ``run`` skips ``_tick_tiles`` until
+        # then; any mid-cycle enqueue pulls the due cycle back to "now"
+        # (see ``_enqueue``).
+        self._tiles_due = best if best is not None else _NEVER
         if self.fetch_inflight is not None:
             if len(self.frames) < self.config.max_frames:
                 arrival = self.fetch_inflight[1]
@@ -362,13 +569,20 @@ class Processor:
         execution order equals delivery order either way, and requeued
         contention slips target ``now + 1`` so pushing them mid-sweep
         cannot re-pop them.
+
+        ``run`` carries a fused copy of this sweep (hot path); this method
+        is the standalone equivalent for external cycle drivers — any
+        change here must be mirrored there.
         """
+        # ``run`` only calls in when the heap head is due, so that is not
+        # rechecked here.  Message-shell state (pools, kind singletons) is
+        # deliberately *not* bound up front: specialized runs deliver flat
+        # tuples almost exclusively, and the shell path pays its own
+        # lookups instead.
         now = self.cycle
         network = self.network
         network.now = now
         heap = network._heap
-        if not heap or heap[0][0] > now:
-            return
         if now != network._port_cycle:
             network._port_use.clear()
             network._port_cycle = now
@@ -378,16 +592,53 @@ class Processor:
         hooks = self.hooks
         pop = heapq.heappop
         push = heapq.heappush
-        token_kind = MsgKind.TOKEN
-        load_req_kind = MsgKind.LOAD_REQ
-        store_upd_kind = MsgKind.STORE_UPD
-        load_resp_kind = MsgKind.LOAD_RESP
-        recycle = self._recycle
-        token_pool = self._token_pool
-        msg_pool = self._msg_pool
-        pool_cap = _SHELL_POOL_CAP
+        frames_by_uid = self.frames_by_uid
         while heap and heap[0][0] <= now:
             arrive, seq, msg = pop(heap)
+            if type(msg) is tuple:
+                # Specialized flat entry (repro.uarch.specialize): the
+                # payload carries pre-resolved coordinates and buffer
+                # positions, so delivery is positional decode + deposit —
+                # port accounting, stats and requeue semantics are
+                # exactly the Message path's.
+                dest = msg[1]
+                used = port_use.get(dest, 0)
+                if used >= bandwidth:
+                    stats.contention_slips += 1
+                    push(heap, (now + 1, seq, msg))
+                    continue
+                port_use[dest] = used + 1
+                stats.delivered += 1
+                stats.total_latency += now - (arrive - 1)
+                code = msg[0]
+                if hooks is not None:
+                    hooks.on_deliver(now, FLAT_KIND_NAMES[code])
+                if code == 0:                     # instruction operand
+                    frame = frames_by_uid.get(msg[2])
+                    if frame is None:
+                        continue
+                    node = frame.nodes[msg[3]]
+                    buffer = node._buffer_list[msg[4]]
+                    node._sig_cache = None
+                    changed, finality = buffer.deposit4(
+                        msg[5], msg[6], msg[7], msg[8])
+                    if changed or finality:
+                        self._on_node_event(frame, node)
+                elif code == 1:                   # write slot
+                    frame = frames_by_uid.get(msg[2])
+                    if frame is not None:
+                        self._deposit_write_flat(
+                            frame, msg[3], msg[4], msg[5], msg[6], msg[7])
+                elif code == 2:                   # branch unit
+                    frame = frames_by_uid.get(msg[2])
+                    if frame is not None:
+                        self._deposit_branch_flat(
+                            frame, msg[3], msg[4], msg[5], msg[6])
+                elif code == 3:
+                    self._deliver_load_req(msg[2])
+                else:
+                    self._deliver_store_upd(msg[2])
+                continue
             dest = msg.dest
             used = port_use.get(dest, 0)
             if used >= bandwidth:
@@ -401,23 +652,23 @@ class Processor:
             kind = msg.kind
             if hooks is not None:
                 hooks.on_deliver(now, kind.name)
-            if kind is token_kind:
+            if kind is _K_TOKEN:
                 self._deliver_token(msg.payload)
                 # Handlers copy token fields out (TokenBuffer.deposit
                 # retains scalars, never the Token), so after dispatch
                 # both shells are free for reuse by ``_send_tokens``.
-                if recycle and len(token_pool) < pool_cap:
-                    token_pool.append(msg.payload)
-            elif kind is load_req_kind:
+                if self._recycle and len(self._token_pool) < _SHELL_POOL_CAP:
+                    self._token_pool.append(msg.payload)
+            elif kind is _K_LOAD_REQ:
                 self._deliver_load_req(msg.payload)
-            elif kind is store_upd_kind:
+            elif kind is _K_STORE_UPD:
                 self._deliver_store_upd(msg.payload)
-            elif kind is load_resp_kind:
+            elif kind is _K_LOAD_RESP:
                 self._deliver_load_resp(msg.payload)
             else:
                 self._deliver_reg_fwd(msg.payload)
-            if recycle and len(msg_pool) < pool_cap:
-                msg_pool.append(msg)
+            if self._recycle and len(self._msg_pool) < _SHELL_POOL_CAP:
+                self._msg_pool.append(msg)
 
     def _deliver_token(self, token: Token) -> None:
         frame = self.frames_by_uid.get(token.frame_uid)
@@ -478,17 +729,24 @@ class Processor:
             if hooks is not None:
                 hooks.on_redeliver(self.cycle, frame.uid, node.index,
                                    payload.value, payload.final)
-        plan = node.plan_emission(payload.value, payload.final)
-        if plan is not None:
-            wave, value, final = plan
-            self._send_tokens(frame, node.index, node.inst.targets,
-                              node._producer_key, wave, value, final)
+        emission = node.plan_emission(payload.value, payload.final)
+        if emission is not None:
+            wave, value, final = emission
+            plan = frame.plan
+            if plan is not None:
+                self._send_tokens_flat(frame.uid, plan.sends[node.index],
+                                       node._producer_key, wave, value,
+                                       final)
+            else:
+                self._send_tokens(frame, node.index, node.inst.targets,
+                                  node._producer_key, wave, value, final)
 
     def _deliver_reg_fwd(self, payload: RegFwdPayload) -> None:
         frame = self.frames_by_uid.get(payload.frame_uid)
         if frame is None:
             return
-        fwd = frame.read_forwards[payload.read_index]
+        ri = payload.read_index
+        fwd = frame.read_forwards[ri]
         if payload.wave < fwd.wave:
             return
         if payload.wave == fwd.wave and payload.value == fwd.value:
@@ -498,10 +756,15 @@ class Processor:
         else:
             fwd.wave, fwd.value, fwd.final = (
                 payload.wave, payload.value, payload.final)
-        read = frame.block.reads[payload.read_index]
-        self._send_tokens(frame, None, read.targets,
-                          ("read", payload.read_index),
-                          payload.wave, payload.value, payload.final)
+        plan = frame.plan
+        if plan is not None:
+            self._send_tokens_flat(frame.uid, plan.reads[ri],
+                                   plan.read_keys[ri], payload.wave,
+                                   payload.value, payload.final)
+        else:
+            read = frame.block.reads[ri]
+            self._send_tokens(frame, None, read.targets, ("read", ri),
+                              payload.wave, payload.value, payload.final)
 
     # ==================================================================
     # Token plumbing
@@ -591,13 +854,77 @@ class Processor:
             push(heap, (now + (routed if routed > 1 else 1), seq, msg))
         network._seq = seq
 
+    def _send_tokens_flat(self, uid: int, entries, producer, wave: int,
+                          value, final: bool) -> None:
+        """Specialized token fan-out: push flat tuples from a plan.
+
+        ``entries`` is one instruction's (or read slot's) precompiled send
+        list — coordinates, buffer positions and routed-latency deltas all
+        resolved at plan compile time — so the loop is pure heap pushes.
+        Arrival cycles (``now + max(1, routed)``, baked into each entry's
+        delta) and the shared ``_seq`` counter keep ordering identical to
+        the interpreted ``_send_tokens``.
+        """
+        network = self.network
+        stats = network.stats
+        n = len(entries)
+        if value is None:
+            stats.null_sent += n
+        stats.sent += n
+        if final:
+            stats.final_sent += n
+        heap = network._heap
+        now = network.now
+        seq = network._seq
+        push = heapq.heappush
+        for entry in entries:
+            seq += 1
+            if entry[0]:
+                push(heap, (now + entry[3], seq,
+                            (1, entry[1], uid, entry[2], producer, wave,
+                             value, final)))
+            else:
+                push(heap, (now + entry[4], seq,
+                            (0, entry[1], uid, entry[2], entry[3], producer,
+                             wave, value, final)))
+        network._seq = seq
+
     def _send_branch_token(self, frame: Frame, node: InstructionNode,
                            wave: int, value, final: bool) -> None:
+        plan = frame.plan
+        if plan is not None:
+            network = self.network
+            stats = network.stats
+            stats.sent += 1
+            if final:
+                stats.final_sent += 1
+            seq = network._seq + 1
+            network._seq = seq
+            heapq.heappush(
+                network._heap,
+                (network.now + plan.branch_deltas[node.index], seq,
+                 (2, self._control_coord, frame.uid, node._producer_key,
+                  wave, value, final)))
+            return
         token = Token(frame.uid, BRANCH_DEST, node._producer_key,
                       wave, value, final)
         self.network.send(self._src_coord(node.index),
                           Message(MsgKind.TOKEN, self._control_coord,
                                   token, final))
+
+    def _send_lsq_flat(self, code: int, delta: int, payload,
+                       final: bool) -> None:
+        """Specialized LSQ injection (LOAD_REQ / STORE_UPD flat entries)."""
+        network = self.network
+        stats = network.stats
+        stats.sent += 1
+        if final:
+            stats.final_sent += 1
+        seq = network._seq + 1
+        network._seq = seq
+        heapq.heappush(network._heap,
+                       (network.now + delta, seq,
+                        (code, self._lsq_coord, payload)))
 
     # ==================================================================
     # Node lifecycle
@@ -616,6 +943,10 @@ class Processor:
                            (frame.seq, node.index, tile._push_seq, node,
                             life))
         self._active_tiles.add(tile_index)
+        # A fresh ready entry must be seen by this cycle's (or the next
+        # possible) tile walk; ``_next_event_cycle`` re-tightens this at
+        # the end of the iteration.
+        self._tiles_due = 0
 
     def _on_node_event(self, frame: Frame, node: InstructionNode) -> None:
         """An input changed: re-issue if needed, else maybe finalise.
@@ -655,6 +986,9 @@ class Processor:
         # ``ExecTile.pop_completed`` / ``ExecTile.issue_ready`` inline
         # (same pop order, same bookkeeping) to avoid call and list
         # overhead on the two hottest loops in the simulator.
+        # ``run`` carries a fused copy of this walk (hot path); this
+        # method is the standalone equivalent for external cycle drivers —
+        # any change here must be mirrored there.
         now = self.cycle
         frames_by_uid = self.frames_by_uid
         stats = self.stats
@@ -759,15 +1093,21 @@ class Processor:
             return
         inst = node.inst
         if outcome.kind is OutcomeKind.VALUE:
-            plan = node.plan_emission(outcome.value, final)
-            if plan is not None:
-                wave, value, fin = plan
-                self._send_tokens(frame, node.index, inst.targets,
-                                  node._producer_key, wave, value, fin)
+            emission = node.plan_emission(outcome.value, final)
+            if emission is not None:
+                wave, value, fin = emission
+                plan = frame.plan
+                if plan is not None:
+                    self._send_tokens_flat(frame.uid, plan.sends[node.index],
+                                           node._producer_key, wave, value,
+                                           fin)
+                else:
+                    self._send_tokens(frame, node.index, inst.targets,
+                                      node._producer_key, wave, value, fin)
         elif outcome.kind is OutcomeKind.BRANCH:
-            plan = node.plan_emission(outcome.value, final)
-            if plan is not None:
-                wave, value, fin = plan
+            emission = node.plan_emission(outcome.value, final)
+            if emission is not None:
+                wave, value, fin = emission
                 self._send_branch_token(frame, node, wave, value, fin)
         elif outcome.kind is OutcomeKind.LOAD_REQUEST:
             self._send_load_req(frame, node, outcome.addr, final)
@@ -780,16 +1120,22 @@ class Processor:
                 self._send_store_upd(frame, node, None, None,
                                      null=True, final=final)
             elif inst.is_branch:
-                plan = node.plan_emission(None, final)
-                if plan is not None:
-                    wave, value, fin = plan
+                emission = node.plan_emission(None, final)
+                if emission is not None:
+                    wave, value, fin = emission
                     self._send_branch_token(frame, node, wave, None, fin)
             else:
-                plan = node.plan_emission(None, final)
-                if plan is not None:
-                    wave, value, fin = plan
-                    self._send_tokens(frame, node.index, inst.targets,
-                                      node._producer_key, wave, None, fin)
+                emission = node.plan_emission(None, final)
+                if emission is not None:
+                    wave, value, fin = emission
+                    plan = frame.plan
+                    if plan is not None:
+                        self._send_tokens_flat(
+                            frame.uid, plan.sends[node.index],
+                            node._producer_key, wave, None, fin)
+                    else:
+                        self._send_tokens(frame, node.index, inst.targets,
+                                          node._producer_key, wave, None, fin)
                 if inst.is_load:
                     self._send_load_null(frame, node, final)
 
@@ -801,9 +1147,14 @@ class Processor:
         node.last_lsq = key
         payload = LoadReqPayload(frame.uid, node.inst.lsid, addr,
                                  node.exec_count, final)
-        self.network.send(self._src_coord(node.index),
-                          Message(MsgKind.LOAD_REQ, self._lsq_coord,
-                                  payload, final))
+        plan = frame.plan
+        if plan is not None:
+            self._send_lsq_flat(3, plan.lsq_deltas[node.index], payload,
+                                final)
+        else:
+            self.network.send(self._src_coord(node.index),
+                              Message(MsgKind.LOAD_REQ, self._lsq_coord,
+                                      payload, final))
 
     def _send_store_upd(self, frame: Frame, node: InstructionNode,
                         addr: Optional[int], value: Optional[int],
@@ -816,9 +1167,14 @@ class Processor:
         payload = StoreUpdPayload(frame.uid, node.inst.lsid, addr, value,
                                   node.exec_count, final, null,
                                   addr_final or final)
-        self.network.send(self._src_coord(node.index),
-                          Message(MsgKind.STORE_UPD, self._lsq_coord,
-                                  payload, final))
+        plan = frame.plan
+        if plan is not None:
+            self._send_lsq_flat(4, plan.lsq_deltas[node.index], payload,
+                                final)
+        else:
+            self.network.send(self._src_coord(node.index),
+                              Message(MsgKind.STORE_UPD, self._lsq_coord,
+                                      payload, final))
 
     def _send_load_null(self, frame: Frame, node: InstructionNode,
                         final: bool) -> None:
@@ -830,18 +1186,27 @@ class Processor:
                                   node.exec_count, final, True)
         # Null loads share the store-update channel: the LSQ only needs the
         # (lsid, wave, final) bookkeeping.
-        self.network.send(self._src_coord(node.index),
-                          Message(MsgKind.LOAD_REQ, self._lsq_coord,
-                                  _NullLoadMarker(payload), final))
+        plan = frame.plan
+        if plan is not None:
+            self._send_lsq_flat(3, plan.lsq_deltas[node.index],
+                                _NullLoadMarker(payload), final)
+        else:
+            self.network.send(self._src_coord(node.index),
+                              Message(MsgKind.LOAD_REQ, self._lsq_coord,
+                                      _NullLoadMarker(payload), final))
 
     # ==================================================================
     # Write-slot and branch-unit handling
     # ==================================================================
 
     def _deposit_write(self, frame: Frame, token: Token) -> None:
-        wi = token.dest[1]
+        self._deposit_write_flat(frame, token.dest[1], token.producer,
+                                 token.wave, token.value, token.final)
+
+    def _deposit_write_flat(self, frame: Frame, wi: int, producer,
+                            wave: int, value, final: bool) -> None:
         buffer = frame.write_buffers[wi]
-        changed, finality = buffer.deposit(token)
+        changed, finality = buffer.deposit4(producer, wave, value, final)
         if not (changed or finality):
             return
         eff = buffer.effective
@@ -865,13 +1230,19 @@ class Processor:
                                       payload, state[1]))
 
     def _deposit_branch(self, frame: Frame, token: Token) -> None:
-        changed, finality = frame.branch_buffer.deposit(token)
+        self._deposit_branch_flat(frame, token.producer, token.wave,
+                                  token.value, token.final)
+
+    def _deposit_branch_flat(self, frame: Frame, producer, wave: int,
+                             value, final: bool) -> None:
+        changed, finality = frame.branch_buffer.deposit4(
+            producer, wave, value, final)
         if not (changed or finality):
             return
         label = frame.branch_label
         if label is None:
             return
-        self._resolve_branch(frame, label, wave=token.wave)
+        self._resolve_branch(frame, label, wave=wave)
 
     def _resolve_branch(self, frame: Frame, label: str, wave: int) -> None:
         is_last = self.frames and self.frames[-1] is frame
@@ -972,6 +1343,20 @@ class Processor:
             frame = Frame(uid, seq, block, self.config)
             self.frames_allocated += 1
         frame.mapped_cycle = self.cycle
+        # Attach the block's specialized plan (or None — interpreted
+        # fallback).  Reassigned on every map: a recycled frame may have
+        # been parked by a processor at a different machine point.
+        if self._specialize:
+            plan = self._block_plans.get(name, _MISSING)
+            if plan is _MISSING:
+                plan = self._fetch_plan(block)
+            if plan is not None:
+                self.stats.specialize_hits += 1
+            else:
+                self.stats.specialize_declined += 1
+        else:
+            plan = None
+        frame.plan = plan
         if self.frames:
             self.frames[-1].fetched_next = name
         self.frames.append(frame)
@@ -999,7 +1384,28 @@ class Processor:
         # successor, _resolve_branch will redirect when their token arrives;
         # nothing else to do here.
 
+    def _fetch_plan(self, block):
+        """First map of a block in this run: consult the code cache.
+
+        The plan (or a cached decline) comes from the per-block LRU.  The
+        miss counts the *cold resolution* — this processor's first
+        activation of the block — not the compile itself: the shared
+        block-level cache may already hold the plan from an earlier run,
+        and charging only actual compiles would make identical runs
+        report different stats (breaking recycled-equals-fresh and
+        paired-digest checks).  Per-instruction FU latencies from the
+        plan seed ``_op_latency`` so the issue loop's latency lookup hits
+        for every specialized block.
+        """
+        self.stats.specialize_misses += 1
+        plan, _compiled = plan_for(block, self._spec_key, self.config)
+        if plan is not None:
+            self._op_latency.update(plan.latency_by_id)
+        self._block_plans[block.name] = plan
+        return plan
+
     def _wire_reads(self, frame: Frame) -> None:
+        plan = frame.plan
         for ri, read in enumerate(frame.block.reads):
             source = None
             for older in reversed(self.frames[:-1]):
@@ -1014,8 +1420,13 @@ class Processor:
                 fwd = frame.read_forwards[ri]
                 fwd.wave, fwd.value, fwd.final = (
                     1, self.arch.get_reg(read.reg), True)
-                self._send_tokens(frame, None, read.targets, ("read", ri),
-                                  1, fwd.value, True)
+                if plan is not None:
+                    self._send_tokens_flat(frame.uid, plan.reads[ri],
+                                           plan.read_keys[ri], 1,
+                                           fwd.value, True)
+                else:
+                    self._send_tokens(frame, None, read.targets,
+                                      ("read", ri), 1, fwd.value, True)
             else:
                 older, wi = source
                 older.subscribers[wi].append((frame.uid, ri))

@@ -93,12 +93,21 @@ class TestRecyclingActive:
         processor, result = _run(instance, "dsre", True)
         assert result.halted
         assert processor.frames_recycled > 0
-        assert processor.tokens_recycled > 0
-        assert processor.messages_recycled > 0
         # Allocation is bounded by the arena working set, not by the
         # number of dynamic blocks: far fewer frames are built than
         # committed.
         assert processor.frames_allocated < result.stats.committed_blocks
+
+    def test_shell_pools_recycle_on_interpreted_path(self):
+        # Specialized blocks send flat tuples and never touch the
+        # Token/Message pools; force the interpreted path to exercise
+        # shell recycling.
+        instance = KERNELS["vecsum"].build(64)
+        processor, result = _run(instance, "dsre", True, specialize=False)
+        assert result.halted
+        assert processor.frames_recycled > 0
+        assert processor.tokens_recycled > 0
+        assert processor.messages_recycled > 0
 
     def test_opt_out_allocates_fresh(self):
         instance = KERNELS["vecsum"].build(64)

@@ -87,7 +87,8 @@ class TestSerialisation:
         every = {f.name for f in dataclasses.fields(MachineConfig)}
         data = default_config().to_dict()
         assert set(data) == every - MachineConfig._ELIDE_AT_DEFAULT
-        forced = default_config(hybrid_redelivery_limit=7).to_dict()
+        forced = default_config(hybrid_redelivery_limit=7,
+                                specialize=False).to_dict()
         assert set(forced) == every
 
     def test_elided_fields_restore_defaults(self):

@@ -1,0 +1,220 @@
+"""Block-specialization differential suite.
+
+The specialized activation path (repro.uarch.specialize) must be *exactly*
+behavior-preserving: for any program at any machine point, a run with
+``specialize=True`` and a run with ``specialize=False`` must commit the
+same architectural state as the golden interpreter and report identical
+statistics — cycle counts, network traffic, LSQ activity, everything —
+except the three ``specialize_*`` telemetry counters themselves.
+
+Coverage: the hand-written kernels, seeded random programs (hypothesis),
+and generated corpus programs, each across all six registered machine
+points; plus units for the per-block LRU plan cache (eviction then
+recompile) and the forced-decline interpreted fallback.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import run_program
+from repro.harness.parallel import arch_state_digest
+from repro.harness.runner import STANDARD_POINTS, run_point
+from repro.uarch import specialize
+from repro.uarch.config import default_config
+from repro.uarch.specialize import (PLAN_CACHE_CAP, machine_point_key,
+                                    plan_for)
+from repro.workloads import KERNELS
+from repro.workloads.corpus import build_corpus, sample_corpus
+
+from .test_differential import instance_from_seed
+
+ALL_POINTS = sorted(STANDARD_POINTS)
+
+#: SimStats fields allowed to differ between the two modes: they *count*
+#: specialization activity, so they are zero with the knob off.
+SPECIALIZE_FIELDS = frozenset(
+    ("specialize_hits", "specialize_misses", "specialize_declined"))
+
+
+def _stats_dict(counters, exclude=frozenset()):
+    return {name: getattr(counters, name)
+            for name in counters.__dataclass_fields__
+            if name not in exclude}
+
+
+def _assert_equivalent(instance, point, **overrides):
+    """Run ``instance`` at ``point`` in both modes; assert equivalence.
+
+    Returns the (on, off) SimResults so callers can add mode-specific
+    assertions on top.
+    """
+    on = run_point(instance, point, specialize=True, **overrides)
+    off = run_point(instance, point, specialize=False, **overrides)
+    label = f"{instance.name} @ {point}"
+    assert arch_state_digest(on.arch) == arch_state_digest(off.arch), \
+        f"{label}: architectural state diverged between modes"
+    assert _stats_dict(on.stats, exclude=SPECIALIZE_FIELDS) == \
+        _stats_dict(off.stats, exclude=SPECIALIZE_FIELDS), \
+        f"{label}: SimStats diverged between modes"
+    for field in ("network_stats", "lsq_stats", "l1_stats",
+                  "predictor_stats"):
+        assert _stats_dict(getattr(on, field)) == \
+            _stats_dict(getattr(off, field)), \
+            f"{label}: {field} diverged between modes"
+    assert on.halted == off.halted, label
+    # Telemetry invariants: the interpreted run never touches the
+    # counters; the specialized run resolves each activated block once.
+    for name in SPECIALIZE_FIELDS:
+        assert getattr(off.stats, name) == 0, (label, name)
+    assert on.stats.specialize_misses > 0, \
+        f"{label}: no block ever resolved a plan with the knob on"
+    return on, off
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("point", ALL_POINTS)
+    @pytest.mark.parametrize("kernel", ("vecsum", "listsum", "stencil"))
+    def test_kernels_all_points(self, kernel, point):
+        instance = KERNELS[kernel].build_test()
+        golden_digest = arch_state_digest(
+            run_program(instance.program, instance.initial_regs)[1])
+        on, _ = _assert_equivalent(instance, point)
+        assert arch_state_digest(on.arch) == golden_digest
+        assert on.stats.specialize_hits > 0, \
+            "hand-written kernels must compile (no structural declines)"
+        assert on.stats.specialize_declined == 0
+
+
+class TestRandomEquivalence:
+    @settings(max_examples=8, deadline=None, derandomize=True,
+              database=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=100_000),
+           point=st.sampled_from(ALL_POINTS))
+    def test_random_programs(self, seed, point):
+        instance, golden_state = instance_from_seed(seed)
+        on, _ = _assert_equivalent(instance, point)
+        assert arch_state_digest(on.arch) == arch_state_digest(golden_state)
+
+    @settings(max_examples=4, deadline=None, derandomize=True,
+              database=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=100_000),
+           frames=st.sampled_from([1, 2, 8]))
+    def test_random_programs_window_sizes(self, seed, frames):
+        # Squash/refetch pressure: tiny windows force frame recycling
+        # through the specialized path.
+        instance, golden_state = instance_from_seed(seed)
+        on, _ = _assert_equivalent(instance, "dsre", max_frames=frames)
+        assert arch_state_digest(on.arch) == arch_state_digest(golden_state)
+
+
+class TestCorpusEquivalence:
+    @pytest.mark.parametrize("point", ALL_POINTS)
+    def test_corpus_programs(self, point):
+        for params in sample_corpus(2, seed=0xBE):
+            _assert_equivalent(build_corpus(params), point)
+
+
+class TestPlanCache:
+    def _block(self):
+        instance = KERNELS["vecsum"].build_test()
+        return instance, next(iter(instance.program.blocks.values()))
+
+    def test_lru_eviction_then_reuse(self):
+        instance, block = self._block()
+        block._plan_cache = None                 # start cold
+        configs = [default_config(hop_latency=n + 1)
+                   for n in range(PLAN_CACHE_CAP + 3)]
+        keys = [machine_point_key(c) for c in configs]
+        assert len(set(keys)) == len(keys)
+        first_plan, compiled = plan_for(block, keys[0], configs[0])
+        assert compiled and first_plan is not None
+        for key, config in zip(keys[1:], configs[1:]):
+            plan, compiled = plan_for(block, key, config)
+            assert compiled and plan is not None
+        assert len(block._plan_cache) == PLAN_CACHE_CAP
+        assert keys[0] not in block._plan_cache      # LRU-evicted
+        # Re-requesting the evicted point recompiles an equivalent plan.
+        replan, compiled = plan_for(block, keys[0], configs[0])
+        assert compiled
+        assert replan.sends == first_plan.sends
+        assert replan.reads == first_plan.reads
+        assert replan.latencies == first_plan.latencies
+        # And a hit does not recompile.
+        again, compiled = plan_for(block, keys[0], configs[0])
+        assert not compiled and again is replan
+
+    def test_eviction_is_invisible_end_to_end(self):
+        # Thrash a program's plan caches past the cap, then run: results
+        # must match a decline-free interpreted run exactly.
+        instance = KERNELS["listsum"].build_test()
+        baseline = run_point(instance, "dsre", specialize=False)
+        for block in instance.program.blocks.values():
+            for n in range(PLAN_CACHE_CAP + 3):
+                config = default_config(hop_latency=n + 1)
+                plan_for(block, machine_point_key(config), config)
+        result = run_point(instance, "dsre", specialize=True)
+        assert arch_state_digest(result.arch) == \
+            arch_state_digest(baseline.arch)
+        assert _stats_dict(result.stats, exclude=SPECIALIZE_FIELDS) == \
+            _stats_dict(baseline.stats, exclude=SPECIALIZE_FIELDS)
+
+
+class TestForcedDecline:
+    def test_declined_blocks_fall_back_interpreted(self):
+        instance = KERNELS["vecsum"].build_test()
+        names = list(instance.program.blocks)
+        try:
+            specialize.FORCED_DECLINES.update(names)
+            for block in instance.program.blocks.values():   # drop cached plans
+                block._plan_cache = None
+            baseline = run_point(instance, "dsre", specialize=False)
+            declined = run_point(instance, "dsre", specialize=True)
+            assert declined.stats.specialize_declined > 0
+            assert declined.stats.specialize_hits == 0
+            assert arch_state_digest(declined.arch) == \
+                arch_state_digest(baseline.arch)
+            assert _stats_dict(declined.stats,
+                               exclude=SPECIALIZE_FIELDS) == \
+                _stats_dict(baseline.stats, exclude=SPECIALIZE_FIELDS)
+        finally:
+            specialize.FORCED_DECLINES.difference_update(names)
+            for block in instance.program.blocks.values():
+                block._plan_cache = None
+
+    def test_mixed_specialized_and_interpreted(self):
+        # Decline only one block: specialized and interpreted frames
+        # interleave in one run and must still be golden-equivalent.
+        instance = KERNELS["listsum"].build_test()
+        victim = list(instance.program.blocks)[1]
+        try:
+            specialize.FORCED_DECLINES.add(victim)
+            for block in instance.program.blocks.values():
+                block._plan_cache = None
+            baseline = run_point(instance, "dsre", specialize=False)
+            mixed = run_point(instance, "dsre", specialize=True)
+            assert mixed.stats.specialize_hits > 0
+            assert mixed.stats.specialize_declined > 0
+            assert arch_state_digest(mixed.arch) == \
+                arch_state_digest(baseline.arch)
+            assert _stats_dict(mixed.stats, exclude=SPECIALIZE_FIELDS) == \
+                _stats_dict(baseline.stats, exclude=SPECIALIZE_FIELDS)
+        finally:
+            specialize.FORCED_DECLINES.discard(victim)
+            for block in instance.program.blocks.values():
+                block._plan_cache = None
+
+
+class TestKnobOff:
+    @pytest.mark.parametrize("point", ALL_POINTS)
+    def test_off_mode_never_counts(self, point):
+        result = run_point(KERNELS["crc"].build_test(), point,
+                           specialize=False)
+        assert result.stats.specialize_hits == 0
+        assert result.stats.specialize_misses == 0
+        assert result.stats.specialize_declined == 0
+
+    def test_default_config_specializes(self):
+        assert default_config().specialize is True
