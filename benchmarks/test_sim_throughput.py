@@ -47,10 +47,10 @@ from repro.workloads import KERNELS
 GRID_KERNELS = ("vecsum", "listsum", "crc", "stencil")
 
 #: Benchmark machine points: the pinned 5-point display order plus the
-#: hybrid protocol, so all six registered recovery/policy combinations
-#: are regression-gated.  (POINT_ORDER itself stays pinned to the paper's
-#: 5-column tables — see repro.harness.runner.)
-BENCH_POINTS = tuple(POINT_ORDER) + ("hybrid",)
+#: hybrid and txwave protocols, so all seven registered recovery/policy
+#: combinations are regression-gated.  (POINT_ORDER itself stays pinned
+#: to the paper's 5-column tables — see repro.harness.runner.)
+BENCH_POINTS = tuple(POINT_ORDER) + ("hybrid", "txwave")
 
 #: Allowed normalized-throughput regression vs the committed baseline.
 REGRESSION_TOLERANCE = 0.20

@@ -72,6 +72,18 @@ def _print_session_metrics(root: str) -> None:
     print(f"  specialization  {m.get('specialize_hits', 0)} hits, "
           f"{m.get('specialize_misses', 0)} misses, "
           f"{m.get('specialize_declined', 0)} declined")
+    issued = m.get("fu_work_issued", 0)
+    if issued:
+        committed = m.get("fu_work_committed", 0)
+        print(f"  fu work         {issued} issued "
+              f"({committed} committed, "
+              f"{m.get('squashed_executions', 0)} squashed), "
+              f"{m.get('wave_operand_sends', 0)} wave-2+ operand sends")
+    rollbacks = m.get("epoch_rollbacks", 0)
+    if rollbacks:
+        depth = m.get("epoch_rollback_depth", 0)
+        print(f"  epoch rollback  {rollbacks} rollbacks, "
+              f"{depth / rollbacks:.2f} frames per rollback")
 
 
 def _cache_command(args: List[str], root: str) -> int:
@@ -166,13 +178,15 @@ def _parse_shard(text: str):
 def _corpus_command(argv: List[str]) -> int:
     """``cli corpus``: shard-aware corpus cache fills and journal status.
 
-    ``fill`` executes this shard's share of the E9 corpus plan into the
+    ``fill`` executes this shard's share of the corpus plan into the
     shared cache root (journaled, so a crashed fill resumes with zero
     re-executed cells); ``status`` summarises every plan journal under
-    the root.  After all shards fill, an unsharded ``cli e9`` renders
-    the table entirely from the merged cache.
+    the root.  The default grid covers every registered machine point
+    (``--points e10``); since the E9 grid is a strict subset, an
+    unsharded ``cli e9`` or ``cli e10`` afterwards renders its table
+    entirely from the merged cache.
     """
-    from .experiments import corpus_plan
+    from .experiments import E10_POINTS, E9_POINTS, corpus_plan
     from .journal import PlanJournal, journals_under
 
     parser = argparse.ArgumentParser(
@@ -185,6 +199,10 @@ def _corpus_command(argv: List[str]) -> int:
                              "E9 sample size for the chosen scale)")
     parser.add_argument("--seed", type=int, default=0xE9,
                         help="corpus sample seed (default: %(default)s)")
+    parser.add_argument("--points", choices=["e9", "e10"], default="e10",
+                        help="machine-point grid: e9 = the legacy six, "
+                             "e10 = all registered points "
+                             "(default: %(default)s)")
     parser.add_argument("--shard", type=_parse_shard, default=None,
                         metavar="i/n",
                         help="claim only cells whose cache-key digest "
@@ -213,7 +231,9 @@ def _corpus_command(argv: List[str]) -> int:
         return 0
 
     fast = not args.full
-    plan, cells = corpus_plan(fast=fast, sample=args.count, seed=args.seed)
+    points = E9_POINTS if args.points == "e9" else E10_POINTS
+    plan, cells = corpus_plan(fast=fast, sample=args.count, seed=args.seed,
+                              points=points)
     cache = ResultCache(args.cache_dir, shard=args.shard)
     with ParallelRunner(jobs=args.jobs, cache=cache,
                         journal=True) as runner:
@@ -239,7 +259,7 @@ def main(argv: List[str] = None) -> int:
         prog="repro-harness",
         description="Regenerate evaluation tables for the DSRE reproduction")
     parser.add_argument("experiments", nargs="+",
-                        help="experiment ids (t1 t2 e1..e9), 'all'/'list', "
+                        help="experiment ids (t1 t2 e1..e10), 'all'/'list', "
                              "or 'cache stats'/'cache clear'")
     parser.add_argument("--full", action="store_true",
                         help="use full evaluation scales (slow)")
@@ -252,7 +272,7 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--corpus-sample", type=int, default=None,
                         metavar="N",
                         help="corpus programs for sampled experiments "
-                             "(e9; default: the experiment's own size)")
+                             "(e9/e10; default: the experiment's own size)")
     parser.add_argument("--cache-dir", default=".repro-cache",
                         help="result cache directory "
                              "(default: %(default)s)")
@@ -285,8 +305,12 @@ def main(argv: List[str] = None) -> int:
         print("recovery protocols (MachineConfig.recovery):")
         from ..uarch.recovery import get_protocol, protocol_names
         for name in protocol_names():
-            doc = (get_protocol(name).__doc__ or "").strip().splitlines()[0]
-            print(f"  {name:8s} {doc}")
+            cls = get_protocol(name)
+            flags = ",".join(flag for flag, on in
+                             (("commit-wave", cls.requires_commit_wave),
+                              ("epoch", cls.epoch_granular)) if on) or "-"
+            doc = (cls.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:8s} [{flags:17s}] {doc}")
         return 0
     if wanted == ["all"]:
         wanted = list(EXPERIMENTS)

@@ -1,4 +1,4 @@
-"""The per-experiment regeneration functions (T1, T2, E1..E8).
+"""The per-experiment regeneration functions (T1, T2, E1..E10).
 
 Each function rebuilds one table/figure of the reconstructed evaluation
 (see DESIGN.md for the experiment index) and returns a
@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..stats.counters import merge_stats
 from ..stats.report import Table, geomean
 from ..uarch.config import default_config
 from ..workloads.common import KernelInstance
@@ -401,25 +402,29 @@ def e8_storeset_ablation(fast: bool = True,
 # E9: corpus-scale protocol ordering
 # ----------------------------------------------------------------------
 
-#: All six registered machine points, in presentation order (the legacy
-#: five-point study plus the hybrid protocol).
+#: E9's pinned six machine points, in presentation order (the legacy
+#: five-point study plus the hybrid protocol).  Deliberately *not* the
+#: full registered set: E9's golden bytes predate txwave, and its cells
+#: stay shareable with E10's legacy columns in the result cache.
 E9_POINTS = tuple(POINT_ORDER) + ("hybrid",)
 
 #: Default corpus sample sizes (programs, not cells; each program runs
-#: across all six points).
+#: across every point of the chosen grid).
 E9_FAST_SAMPLE = 12
 E9_FULL_SAMPLE = 48
 
 
 def corpus_plan(fast: bool = True, sample: Optional[int] = None,
-                seed: int = 0xE9):
-    """The E9 sweep plan: a seeded corpus sample × all six points.
+                seed: int = 0xE9, points: Sequence[str] = E9_POINTS):
+    """A corpus sweep plan: a seeded corpus sample × ``points``.
 
     Returns ``(plan, cells)`` where ``cells`` is a list of
     ``(CorpusParams, {point: plan index})`` pairs in sample order.  The
-    plan is a pure function of ``(fast, sample, seed)`` — same arguments,
-    same cell keys, same plan digest — which is what makes corpus sweeps
-    resumable across processes and shardable across hosts.
+    plan is a pure function of ``(fast, sample, seed, points)`` — same
+    arguments, same cell keys, same plan digest — which is what makes
+    corpus sweeps resumable across processes and shardable across hosts.
+    E9 uses the legacy six points; E10 and ``cli corpus fill`` use the
+    full registered set, whose legacy cells share the same cache records.
     """
     count = int(sample) if sample is not None else (
         E9_FAST_SAMPLE if fast else E9_FULL_SAMPLE)
@@ -427,7 +432,7 @@ def corpus_plan(fast: bool = True, sample: Optional[int] = None,
     cells = []
     for params in sample_corpus(count, seed=seed, fast=fast):
         instance = build_corpus(params)
-        indices = plan.add_points(instance, E9_POINTS)
+        indices = plan.add_points(instance, tuple(points))
         cells.append((params, indices))
     return plan, cells
 
@@ -438,8 +443,8 @@ def e9_corpus_ordering(fast: bool = True,
                        runner: Optional[ParallelRunner] = None) -> Table:
     """E9 — aggregate protocol ordering over a generated corpus.
 
-    Runs every sampled corpus program across all six machine points and
-    reports each point's geomean speedup over conservative, the induced
+    Runs every sampled corpus program across the six E9 machine points
+    and reports each point's geomean speedup over conservative, the induced
     protocol ordering, and — against the paper's Anchor A claim (DSRE
     beats store-sets) — the listing of *inversion* programs where
     store-sets wins, with their exact generator parameters so any
@@ -510,6 +515,84 @@ def e9_corpus_ordering(fast: bool = True,
     return table
 
 
+# ----------------------------------------------------------------------
+# E10: squash-work attribution
+# ----------------------------------------------------------------------
+
+#: The full registered point set, in presentation order: the legacy six
+#: (E9's grid — cache records shared with it) plus the transactional-wave
+#: protocol.
+E10_POINTS = tuple(POINT_ORDER) + ("hybrid", "txwave")
+
+
+def e10_squash_work(fast: bool = True,
+                    sample: Optional[int] = None,
+                    seed: int = 0xE9,
+                    runner: Optional[ParallelRunner] = None) -> Table:
+    """E10 — what each protocol's mis-speculation handling *costs*.
+
+    Speedup tables (E1, E9) rank protocols by cycles; this experiment
+    ranks them by *work*: across the corpus sample, how much issued FU
+    work each protocol commits versus throws away, how many corrected
+    operands it re-delivers, how much wave re-send traffic its recovery
+    generates, and — for epoch-granular protocols — how deep its
+    rollbacks reach.  Work accounting is closed: every point satisfies
+    ``fu_work_issued == fu_work_committed + squashed_executions``
+    exactly (the conformance suite asserts this per run).
+    """
+    runner = _runner(runner)
+    plan, cells = corpus_plan(fast=fast, sample=sample, seed=seed,
+                              points=E10_POINTS)
+    results = runner.run_plan(plan)
+
+    table = Table(
+        f"E10. Squash-work attribution ({len(cells)} corpus programs)",
+        ["point", "fu work/ci", "committed %", "squashed %",
+         "redeliv/1k ci", "resend/1k ci", "final/1k ci",
+         "rollbacks", "depth/rb"])
+    table.data = {"points": list(E10_POINTS), "seed": seed,
+                  "programs": len(cells), "work": {}}
+    squash_share: Dict[str, float] = {}
+    for point in E10_POINTS:
+        agg = merge_stats([results[indices[point]].stats
+                           for _, indices in cells])
+        final_sent = sum(results[indices[point]].network_stats.final_sent
+                         for _, indices in cells)
+        assert agg.fu_work_issued == (agg.fu_work_committed
+                                      + agg.squashed_executions), point
+        ci = max(1, agg.committed_instructions)
+        issued = max(1, agg.fu_work_issued)
+        committed_pct = 100.0 * agg.fu_work_committed / issued
+        squashed_pct = 100.0 * agg.squashed_executions / issued
+        depth = (agg.epoch_rollback_depth / agg.epoch_rollbacks
+                 if agg.epoch_rollbacks else 0.0)
+        table.add_row(point, agg.fu_work_issued / ci, committed_pct,
+                      squashed_pct,
+                      1000.0 * agg.load_redeliveries / ci,
+                      1000.0 * agg.wave_operand_sends / ci,
+                      1000.0 * final_sent / ci,
+                      agg.epoch_rollbacks, depth)
+        squash_share[point] = squashed_pct
+        table.data["work"][point] = {
+            "fu_work_issued": agg.fu_work_issued,
+            "fu_work_committed": agg.fu_work_committed,
+            "squashed_executions": agg.squashed_executions,
+            "committed_instructions": agg.committed_instructions,
+            "load_redeliveries": agg.load_redeliveries,
+            "wave_operand_sends": agg.wave_operand_sends,
+            "final_sent": final_sent,
+            "epoch_rollbacks": agg.epoch_rollbacks,
+            "epoch_rollback_depth": agg.epoch_rollback_depth,
+        }
+    ordering = sorted(E10_POINTS,
+                      key=lambda p: (squash_share[p], E10_POINTS.index(p)))
+    table.add_footer("least squashed work: " + " < ".join(ordering))
+    table.add_footer("work accounting closed on every point "
+                     "(issued == committed + squashed)")
+    table.data["ordering"] = ordering
+    return table
+
+
 #: Every regenerable artifact, keyed by its DESIGN.md experiment id.
 EXPERIMENTS = {
     "t1": table_t1,
@@ -523,4 +606,5 @@ EXPERIMENTS = {
     "e7": e7_conflict_sweep,
     "e8": e8_storeset_ablation,
     "e9": e9_corpus_ordering,
+    "e10": e10_squash_work,
 }

@@ -64,7 +64,10 @@ _SESSION_SUM_KEYS = ("plans_run", "cells_executed", "cells_from_cache",
                      "kernels_executed", "golden_fresh_runs",
                      "golden_memo_hits", "pool_spinups", "pool_reuses",
                      "specialize_hits", "specialize_misses",
-                     "specialize_declined")
+                     "specialize_declined",
+                     "fu_work_issued", "fu_work_committed",
+                     "squashed_executions", "wave_operand_sends",
+                     "epoch_rollbacks", "epoch_rollback_depth")
 
 #: Block-specialization counters lifted from executed cells' SimStats
 #: (cached cells are excluded — they did no specialization work in this
@@ -72,6 +75,15 @@ _SESSION_SUM_KEYS = ("plans_run", "cells_executed", "cells_from_cache",
 #: them).
 _SPECIALIZE_KEYS = ("specialize_hits", "specialize_misses",
                     "specialize_declined")
+
+#: Work-attribution counters lifted from executed cells' SimStats.
+#: Unlike the specialize keys these describe the *simulated machine*
+#: (issued vs. committed vs. squashed FU work, wave-2+ operand traffic,
+#: epoch rollbacks), so they sum over executed cells only — the same
+#: session-scoping rule as ``_SPECIALIZE_KEYS``.
+_WORK_KEYS = ("fu_work_issued", "fu_work_committed",
+              "squashed_executions", "wave_operand_sends",
+              "epoch_rollbacks", "epoch_rollback_depth")
 
 
 def session_shard_path(root: str, pid: Optional[int] = None) -> str:
@@ -376,6 +388,10 @@ class ParallelRunner:
         self.specialize_declined = 0
         self._plan_specialize: Dict[str, int] = \
             dict.fromkeys(_SPECIALIZE_KEYS, 0)
+        #: Work attribution summed over *executed* cells (session total
+        #: and the per-plan scratch consumed by :meth:`_account_plan`).
+        self.work_totals: Dict[str, int] = dict.fromkeys(_WORK_KEYS, 0)
+        self._plan_work: Dict[str, int] = dict.fromkeys(_WORK_KEYS, 0)
         #: Metrics of the most recent :meth:`run_plan` call.
         self.last_metrics: Optional[SweepMetrics] = None
 
@@ -408,9 +424,10 @@ class ParallelRunner:
                     journal.record(index, keys[index], "cache")
 
         self._plan_specialize = dict.fromkeys(_SPECIALIZE_KEYS, 0)
+        self._plan_work = dict.fromkeys(_WORK_KEYS, 0)
         for index, record in self._execute(cells, digests, pending):
             self._admit(keys[index], record)
-            self._note_specialize(record)
+            self._note_cell_stats(record)
             if journal is not None:
                 journal.record(index, keys[index], "executed")
             results[index] = result_from_record(record, from_cache=False)
@@ -463,9 +480,10 @@ class ParallelRunner:
 
         executed = 0
         self._plan_specialize = dict.fromkeys(_SPECIALIZE_KEYS, 0)
+        self._plan_work = dict.fromkeys(_WORK_KEYS, 0)
         for index, record in self._execute(cells, digests, owned):
             self._admit(keys[index], record)
-            self._note_specialize(record)
+            self._note_cell_stats(record)
             if journal is not None:
                 journal.record(index, keys[index], "executed")
             executed += 1
@@ -608,19 +626,24 @@ class ParallelRunner:
 
     # -- metrics --------------------------------------------------------
 
-    def _note_specialize(self, record: dict) -> None:
-        """Fold one executed cell's specialization counters into the
-        per-plan sums (consumed by :meth:`_account_plan`)."""
+    def _note_cell_stats(self, record: dict) -> None:
+        """Fold one executed cell's specialization and work-attribution
+        counters into the per-plan sums (consumed by
+        :meth:`_account_plan`)."""
         stats = record["result"]["stats"]
         plan = self._plan_specialize
         for key in _SPECIALIZE_KEYS:
             plan[key] += int(stats.get(key, 0))
+        work = self._plan_work
+        for key in _WORK_KEYS:
+            work[key] += int(stats.get(key, 0))
 
     def _account_plan(self, cells: int, executed: int,
                       wall: float) -> None:
         kernels = self._plan_kernels
         fresh = self._plan_golden_fresh
         spec = self._plan_specialize
+        work = self._plan_work
         self.plans_run += 1
         self.wall_seconds += wall
         self.kernels_executed += kernels
@@ -629,6 +652,8 @@ class ParallelRunner:
         self.specialize_hits += spec["specialize_hits"]
         self.specialize_misses += spec["specialize_misses"]
         self.specialize_declined += spec["specialize_declined"]
+        for key in _WORK_KEYS:
+            self.work_totals[key] += work[key]
         self.last_metrics = SweepMetrics(
             cells=cells,
             executed=executed,
@@ -646,6 +671,12 @@ class ParallelRunner:
             specialize_hits=spec["specialize_hits"],
             specialize_misses=spec["specialize_misses"],
             specialize_declined=spec["specialize_declined"],
+            fu_work_issued=work["fu_work_issued"],
+            fu_work_committed=work["fu_work_committed"],
+            squashed_executions=work["squashed_executions"],
+            wave_operand_sends=work["wave_operand_sends"],
+            epoch_rollbacks=work["epoch_rollbacks"],
+            epoch_rollback_depth=work["epoch_rollback_depth"],
         )
         self._write_session_metrics()
 
@@ -668,6 +699,7 @@ class ParallelRunner:
             "specialize_hits": self.specialize_hits,
             "specialize_misses": self.specialize_misses,
             "specialize_declined": self.specialize_declined,
+            **{key: self.work_totals[key] for key in _WORK_KEYS},
             "last_plan": self.last_metrics.as_dict()
             if self.last_metrics else None,
         }

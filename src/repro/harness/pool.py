@@ -280,6 +280,16 @@ class SweepMetrics:
     specialize_hits: int = 0
     specialize_misses: int = 0
     specialize_declined: int = 0
+    #: Work attribution summed over this plan's *executed* cells: FU
+    #: work by fate (issued == committed + squashed), wave-2+ operand
+    #: re-delivery traffic, and epoch-granular rollback activity (zero
+    #: for the non-epoch protocols).
+    fu_work_issued: int = 0
+    fu_work_committed: int = 0
+    squashed_executions: int = 0
+    wave_operand_sends: int = 0
+    epoch_rollbacks: int = 0
+    epoch_rollback_depth: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -299,4 +309,10 @@ class SweepMetrics:
             "specialize_hits": self.specialize_hits,
             "specialize_misses": self.specialize_misses,
             "specialize_declined": self.specialize_declined,
+            "fu_work_issued": self.fu_work_issued,
+            "fu_work_committed": self.fu_work_committed,
+            "squashed_executions": self.squashed_executions,
+            "wave_operand_sends": self.wave_operand_sends,
+            "epoch_rollbacks": self.epoch_rollbacks,
+            "epoch_rollback_depth": self.epoch_rollback_depth,
         }

@@ -12,6 +12,8 @@ machine points* of the evaluation:
 * ``oracle``       — perfect load-issue oracle, flush recovery (upper bound)
 * ``hybrid``       — always speculate, DSRE with a bounded-re-delivery
   flush fallback (additive point; not in the default table order)
+* ``txwave``       — always speculate, transactional-wave recovery
+  (epoch-bulk commit, epoch-granular rollback; additive point)
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ STANDARD_POINTS: Dict[str, Tuple[str, str]] = {
     "dsre": ("aggressive", "dsre"),
     "oracle": ("oracle", "flush"),
     "hybrid": ("aggressive", "hybrid"),
+    "txwave": ("aggressive", "txwave"),
 }
 
 #: Display order for tables.  Deliberately the original five-point list —

@@ -53,7 +53,7 @@ from ..stats.report import Table
 from ..workloads.registry import KERNELS
 from .cache import ResultCache, cache_key
 from .experiments import EXPERIMENTS, table_t1
-from .parallel import (ParallelRunner, merge_session_metrics,
+from .parallel import (_WORK_KEYS, ParallelRunner, merge_session_metrics,
                        write_session_shard)
 from .pool import PoolExhaustedError, WorkerPool, run_cell_chunk
 from .runner import POINT_ORDER, STANDARD_POINTS
@@ -69,10 +69,14 @@ EXPERIMENT_CELLS_PER_KERNEL = {
     "t1": 0, "t2": 0, "e1": 5, "e2": 12, "e3": 2, "e4": 7,
     "e5": 6, "e6": 2, "e8": 5,
 }
-#: E7 sweeps a synthetic kernel grid and E9 a sampled corpus — both
+#: E7 sweeps a synthetic kernel grid and E9/E10 a sampled corpus — all
 #: independent of ``kernels``.  E9's price covers its fast sample (12
-#: programs x 6 points); a ``sample`` override re-prices it below.
-EXPERIMENT_FLAT_CELLS = {"e7": 24, "e9": 72}
+#: programs x 6 legacy points) and E10's the same sample across all 7
+#: registered points; a ``sample`` override re-prices them below using
+#: each experiment's own point count (E9 stays pinned to the legacy six
+#: even though seven points are registered).
+EXPERIMENT_FLAT_CELLS = {"e7": 24, "e9": 72, "e10": 84}
+EXPERIMENT_SAMPLE_POINTS = {"e9": 6, "e10": 7}
 
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
@@ -348,7 +352,10 @@ class SweepServer:
         self._session_totals: Dict[str, float] = {key: 0 for key in (
             "plans_run", "cells_executed", "cells_from_cache",
             "wall_seconds", "pool_reuses", "specialize_hits",
-            "specialize_misses", "specialize_declined")}
+            "specialize_misses", "specialize_declined",
+            "fu_work_issued", "fu_work_committed",
+            "squashed_executions", "wave_operand_sends",
+            "epoch_rollbacks", "epoch_rollback_depth")}
         self._last_plan_metrics: Optional[dict] = None
         self._plan_counter = itertools.count(1)
         self._serving = threading.Event()
@@ -458,6 +465,7 @@ class SweepServer:
             "specialize_hits": int(totals["specialize_hits"]),
             "specialize_misses": int(totals["specialize_misses"]),
             "specialize_declined": int(totals["specialize_declined"]),
+            **{key: int(totals[key]) for key in _WORK_KEYS},
             "last_plan": self._last_plan_metrics,
         })
 
@@ -478,7 +486,8 @@ class SweepServer:
                     if not isinstance(sample, int) or sample < 1:
                         raise _BadRequest(
                             "'sample' must be a positive integer")
-                    return sample * len(STANDARD_POINTS)
+                    return sample * EXPERIMENT_SAMPLE_POINTS.get(
+                        name, len(STANDARD_POINTS))
                 return EXPERIMENT_FLAT_CELLS[name]
             per = EXPERIMENT_CELLS_PER_KERNEL.get(name, 8)
             count = len(kernels) if kernels else len(KERNELS)
@@ -610,6 +619,8 @@ class SweepServer:
         totals["specialize_hits"] += runner.specialize_hits
         totals["specialize_misses"] += runner.specialize_misses
         totals["specialize_declined"] += runner.specialize_declined
+        for key in _WORK_KEYS:
+            totals[key] += runner.work_totals[key]
         if runner.last_metrics is not None:
             self._last_plan_metrics = runner.last_metrics.as_dict()
 
@@ -784,6 +795,8 @@ class SweepServer:
                     "declined":
                         int(self._session_totals["specialize_declined"]),
                 },
+                "work": {key: int(self._session_totals[key])
+                         for key in _WORK_KEYS},
                 "batches": self.counters["batches"],
                 "chunks": self.counters["chunks"],
                 "chunk_failures": self.counters["chunk_failures"],

@@ -46,6 +46,20 @@ class SimStats:
     occupancy_samples: int = 0
     occupancy_total: int = 0
 
+    # Work attribution (epoch seam).  FU work is counted at *issue* so
+    # the invariant ``fu_work_issued == fu_work_committed +
+    # squashed_executions`` holds exactly: every mapped frame ends in
+    # exactly one of commit or squash, and both sides count the same
+    # per-node exec passes.  ``wave_operand_sends`` counts operand tokens
+    # re-delivered at wave > 1 (selective re-execution traffic); the
+    # epoch_* counters stay zero for every non-epoch-granular protocol.
+    fu_work_issued: int = 0             # FU passes started (any fate)
+    fu_work_committed: int = 0          # FU passes whose frame committed
+    wave_operand_sends: int = 0         # operand tokens sent at wave > 1
+    epochs_closed: int = 0              # epoch-close events at commit
+    epoch_rollbacks: int = 0            # violations rolled back by epoch
+    epoch_rollback_depth: int = 0       # frames between violator and target
+
     # Block-specialization code cache (repro.uarch.specialize):
     # plan-backed activations, cold plan resolutions (this run's first
     # activation of each block — deterministic per run, regardless of

@@ -80,6 +80,9 @@ class MachineConfig:
     #: Hybrid recovery only: once a frame has absorbed this many load
     #: re-deliveries, the next wrong value escalates to a flush.
     hybrid_redelivery_limit: int = 4
+    #: Transactional-wave recovery only: frames per commit/rollback epoch
+    #: (the epoch size policy).  1 degenerates to per-block commit.
+    txwave_epoch_blocks: int = 4
     #: Next-block predictor: "lasttarget" or "perfect".
     next_block_predictor: str = "lasttarget"
     predictor_entries: int = 2048
@@ -100,7 +103,7 @@ class MachineConfig:
     #: not exercise them serialise exactly as before — keeping every
     #: previously computed ``stable_hash`` (the sweep cache key) valid.
     _ELIDE_AT_DEFAULT: ClassVar[FrozenSet[str]] = frozenset(
-        {"hybrid_redelivery_limit", "specialize"})
+        {"hybrid_redelivery_limit", "specialize", "txwave_epoch_blocks"})
 
     # ------------------------------------------------------------------
 
@@ -115,6 +118,8 @@ class MachineConfig:
         get_protocol(self.recovery)
         if self.hybrid_redelivery_limit < 0:
             raise ConfigError("hybrid_redelivery_limit must be >= 0")
+        if self.txwave_epoch_blocks < 1:
+            raise ConfigError("txwave_epoch_blocks must be >= 1")
         if self.dependence_policy not in (
                 "conservative", "aggressive", "storeset", "oracle"):
             raise ConfigError(

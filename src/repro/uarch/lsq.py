@@ -72,6 +72,11 @@ class MemEntry:
     static_id: Tuple[str, int]
     width: int
 
+    #: Commit/rollback epoch this operation belongs to — stamped once at
+    #: registration from the protocol's ``epoch_of``.  Degenerate
+    #: protocols map every frame to its own epoch (``epoch == seq``).
+    epoch: int = 0
+
     wave: int = -1              # highest update wave seen from the node
     null: bool = False          # predicated off at the latest wave
     final: bool = False         # node's inputs are final (commit wave)
@@ -192,6 +197,12 @@ class LoadStoreQueue:
         #: Commit-wave protocols gate commit on confirmation; completion-
         #: gated protocols (flush) skip confirmation entirely.
         self.require_confirm = protocol.requires_commit_wave
+        #: Epoch seam: the protocol's frame-seq -> epoch mapping, and
+        #: whether the per-epoch completion index below is maintained.
+        #: Non-epoch-granular protocols skip the index entirely, so the
+        #: hot index-maintenance paths cost them nothing.
+        self._epoch_of = protocol.epoch_of
+        self._epoch_tracking = protocol.epoch_granular
         #: Current cycle, advanced by the owning processor.
         self.now = 0
         #: One-shot wait bits set on violation: the refetched instance of a
@@ -231,6 +242,10 @@ class LoadStoreQueue:
         #: by the same hooks that maintain the other indexes, so
         #: ``frame_mem_final`` is an emptiness check instead of a scan.
         self._incomplete: Dict[int, set] = {}
+        #: Epoch -> (frame_uid, lsid) pairs not yet complete; maintained
+        #: only when ``_epoch_tracking`` (same emptiness-check idea as
+        #: ``_incomplete``, but spanning every frame of the epoch).
+        self._epoch_incomplete: Dict[int, set] = {}
 
     # ------------------------------------------------------------------
     # Frame lifecycle
@@ -255,9 +270,11 @@ class LoadStoreQueue:
                  (block.name, inst.lsid), inst.width)
                 for inst in mem_insts)
             block._lsq_template = template
+        epoch = self._epoch_of(seq)
         entries: Dict[int, MemEntry] = {}
         for lsid, kind, static_id, width in template:
-            entry = MemEntry(frame_uid, seq, lsid, kind, static_id, width)
+            entry = MemEntry(frame_uid, seq, lsid, kind, static_id, width,
+                             epoch)
             entries[lsid] = entry
             if kind is MemKind.STORE:
                 # Frames register in seq order and entries in LSID order,
@@ -275,6 +292,9 @@ class LoadStoreQueue:
         # Fresh entries are never complete (stores lack addresses, loads
         # are unissued and unconfirmed).
         self._incomplete[frame_uid] = set(entries)
+        if self._epoch_tracking and entries:
+            self._epoch_incomplete.setdefault(epoch, set()).update(
+                (frame_uid, lsid) for lsid in entries)
         self._flat_cache = None
 
     def drop_frame(self, frame_uid: int) -> None:
@@ -283,6 +303,14 @@ class LoadStoreQueue:
             return
         self._frame_order.remove(frame_uid)
         self._incomplete.pop(frame_uid, None)
+        if self._epoch_tracking and entries:
+            epoch = next(iter(entries.values())).epoch
+            pending = self._epoch_incomplete.get(epoch)
+            if pending is not None:
+                pending.difference_update(
+                    (frame_uid, lsid) for lsid in entries)
+                if not pending:
+                    del self._epoch_incomplete[epoch]
         self._flat_cache = None
         for entry in entries.values():
             key = entry.order_key
@@ -326,6 +354,19 @@ class LoadStoreQueue:
 
     def frame_mem_final(self, frame_uid: int) -> bool:
         return not self._incomplete.get(frame_uid)
+
+    def epoch_mem_final(self, epoch: int) -> bool:
+        """True when every in-flight memory op of ``epoch`` is complete.
+
+        Epoch-granular protocols poll this as part of their bulk commit
+        gate; with the epoch index maintained it is an emptiness check.
+        Without tracking it falls back to a scan (degenerate protocols
+        never call it on the hot path; the differential test does).
+        """
+        if self._epoch_tracking:
+            return not self._epoch_incomplete.get(epoch)
+        return all(e.complete_for_commit(self.require_confirm)
+                   for e in self._all_entries() if e.epoch == epoch)
 
     # ------------------------------------------------------------------
     # Entry access helpers
@@ -454,14 +495,24 @@ class LoadStoreQueue:
         self._track_commit(entry)
 
     def _track_commit(self, entry: MemEntry) -> None:
-        """Sync the entry's membership in its frame's incomplete set."""
+        """Sync the entry's membership in its frame's incomplete set
+        (and, for epoch-granular protocols, its epoch's)."""
         incomplete = self._incomplete.get(entry.frame_uid)
         if incomplete is None:
             return
         if entry.complete_for_commit(self.require_confirm):
             incomplete.discard(entry.lsid)
+            if self._epoch_tracking:
+                pending = self._epoch_incomplete.get(entry.epoch)
+                if pending is not None:
+                    pending.discard((entry.frame_uid, entry.lsid))
+                    if not pending:
+                        del self._epoch_incomplete[entry.epoch]
         else:
             incomplete.add(entry.lsid)
+            if self._epoch_tracking:
+                self._epoch_incomplete.setdefault(entry.epoch, set()).add(
+                    (entry.frame_uid, entry.lsid))
 
     # ------------------------------------------------------------------
     # Ordering queries (overridden by the naive reference implementation)

@@ -79,3 +79,9 @@ class NaiveLoadStoreQueue(LoadStoreQueue):
 
     def _confirm_gate_stores(self, load: MemEntry) -> List[MemEntry]:
         return self._stores_older_than(load.order_key)
+
+    def epoch_mem_final(self, epoch: int) -> bool:
+        # Full scan regardless of protocol — checks the indexed
+        # implementation's per-epoch incomplete set against ground truth.
+        return all(e.complete_for_commit(self.require_confirm)
+                   for e in self._all_entries() if e.epoch == epoch)

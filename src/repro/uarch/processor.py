@@ -233,6 +233,10 @@ class Processor:
         #: The protocol's commit gate, bound once — polled every active
         #: cycle in ``_tick_commit``.
         self._outputs_ready = self.protocol.frame_outputs_ready
+        #: Epoch seam: frame-seq -> epoch mapping, bound once (the
+        #: degenerate mapping is identity, so per-frame commit is the
+        #: epoch-of-one special case).
+        self._epoch_of = self.protocol.epoch_of
         #: Optional structured event sink (``attach_hooks``); every
         #: emission site costs one ``is None`` test while unset.
         self.hooks: Optional[EventHooks] = None
@@ -457,6 +461,7 @@ class Processor:
                                 node.state = NodeState.EXECUTING
                                 node.issued_signature = sig
                                 node.exec_count += 1
+                                stats.fu_work_issued += 1
                                 latency = op_latency.get(id(node.inst))
                                 if latency is None:
                                     latency = latency_fn(node)
@@ -813,6 +818,8 @@ class Processor:
         stats.sent += n
         if final:
             stats.final_sent += n
+        if wave > 1:
+            self.stats.wave_operand_sends += n
         heap = network._heap
         route_cache = network._route_cache
         route_latency = network.config.route_latency
@@ -873,6 +880,8 @@ class Processor:
         stats.sent += n
         if final:
             stats.final_sent += n
+        if wave > 1:
+            self.stats.wave_operand_sends += n
         heap = network._heap
         now = network.now
         seq = network._seq
@@ -891,6 +900,8 @@ class Processor:
 
     def _send_branch_token(self, frame: Frame, node: InstructionNode,
                            wave: int, value, final: bool) -> None:
+        if wave > 1:
+            self.stats.wave_operand_sends += 1
         plan = frame.plan
         if plan is not None:
             network = self.network
@@ -1055,6 +1066,7 @@ class Processor:
                         node.state = NodeState.EXECUTING
                         node.issued_signature = sig
                         node.exec_count += 1
+                        stats.fu_work_issued += 1
                         latency = op_latency.get(id(node.inst))
                         if latency is None:
                             latency = latency_fn(node)
@@ -1532,6 +1544,7 @@ class Processor:
         self.stats.committed_blocks += 1
         self.stats.committed_instructions += useful
         self.stats.committed_nulls += len(head.nodes) - useful
+        self.stats.fu_work_committed += head.total_executions()
         self.last_commit_cycle = self.cycle
         hooks = self.hooks
         if hooks is not None:
@@ -1541,6 +1554,14 @@ class Processor:
         self.frames.pop(0)
         self.frames_by_uid.pop(head.uid)
         self._retire_frame(head)
+
+        # Epoch seam: the last frame of an epoch just committed (the HALT
+        # frame always closes its epoch).  Under the degenerate
+        # epoch-of-one mapping this fires once per committed frame.
+        epoch = self._epoch_of(head.seq)
+        if self._epoch_of(head.seq + 1) != epoch or label == HALT_LABEL:
+            self.stats.epochs_closed += 1
+            self.protocol.on_epoch_close(epoch)
 
         if label == HALT_LABEL:
             if self.frames:

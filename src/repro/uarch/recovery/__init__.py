@@ -1,7 +1,7 @@
 """Pluggable mis-speculation recovery protocols.
 
 Importing this package registers the built-in protocols (``flush``,
-``dsre``, ``hybrid``); ``MachineConfig.recovery`` validation, the
+``dsre``, ``hybrid``, ``txwave``); ``MachineConfig.recovery`` validation, the
 processor's protocol construction, and the CLI's protocol listing all go
 through the registry here — see :mod:`repro.uarch.recovery.base` for the
 interface and docs/PROTOCOL.md for the contract.
@@ -12,8 +12,10 @@ from .base import (RecoveryProtocol, build_recovery, get_protocol,
 from .dsre import DsreRecovery
 from .flush import FlushRecovery
 from .hybrid import HybridRecovery
+from .txwave import TxWaveRecovery
 
 __all__ = [
     "DsreRecovery", "FlushRecovery", "HybridRecovery", "RecoveryProtocol",
-    "build_recovery", "get_protocol", "protocol_names", "register_protocol",
+    "TxWaveRecovery", "build_recovery", "get_protocol", "protocol_names",
+    "register_protocol",
 ]

@@ -67,6 +67,14 @@ class RecoveryProtocol:
     #: LSQ runs load confirmation.  The processor keys all commit-wave
     #: plumbing on this capability flag, never on the protocol's name.
     requires_commit_wave: ClassVar[bool] = False
+    #: True if the protocol groups frames into multi-block epochs:
+    #: :meth:`epoch_of` is non-trivial, the LSQ maintains its per-epoch
+    #: completion index, and violations roll back to an epoch boundary
+    #: rather than the violating frame.  Legacy protocols leave this
+    #: False and get the degenerate epoch-of-one behaviour (every frame
+    #: is its own epoch), which makes per-instruction commit the
+    #: epoch-size-one special case of the epoch machinery.
+    epoch_granular: ClassVar[bool] = False
 
     def __init__(self, config: "MachineConfig"):
         self.config = config
@@ -92,16 +100,79 @@ class RecoveryProtocol:
         """
         raise NotImplementedError
 
+    # --- Epoch seam -----------------------------------------------------
+    #
+    # Commit and rollback operate on *epochs* — contiguous runs of frame
+    # sequence numbers.  The base implementations are the degenerate
+    # epoch-of-one mapping (``epoch_of(seq) == seq``), under which
+    # per-frame commit and squash-to-the-violating-frame fall out as the
+    # special case; epoch-granular protocols override ``epoch_of`` /
+    # ``epoch_start`` and set :attr:`epoch_granular`.
+
+    def epoch_of(self, seq: int) -> int:
+        """The epoch number that frame sequence ``seq`` belongs to.
+
+        Must be monotone non-decreasing in ``seq`` and stable for the
+        lifetime of the protocol instance (the LSQ stamps each frame's
+        memory entries with it once, at ``register_frame`` time).
+        """
+        return seq
+
+    def epoch_start(self, epoch: int) -> int:
+        """The first frame sequence number belonging to ``epoch``.
+
+        Inverse boundary mapping for :meth:`epoch_of`:
+        ``epoch_of(epoch_start(e)) == e`` and
+        ``epoch_of(epoch_start(e) - 1) == e - 1``.
+        """
+        return epoch
+
+    def on_epoch_close(self, epoch: int) -> None:
+        """Hook: the last frame of ``epoch`` just committed.
+
+        Fired by the processor immediately after the commit of a frame
+        whose successor sequence maps to a different epoch (or after the
+        HALT frame).  Under the degenerate epoch-of-one mapping this
+        fires once per committed frame.  Default: no-op.
+        """
+
+    def rollback_to_epoch(self, epoch: int, violation: "Violation") -> None:
+        """Squash back to the start of ``epoch`` (the youngest epoch
+        consistent with the violation) and refetch from there.
+
+        The target is the oldest in-flight frame whose sequence is at or
+        above the epoch's start boundary; under epoch-of-one that is
+        exactly the violating frame, making this byte-identical to the
+        historical squash-to-frame response.  Epoch-granular protocols
+        additionally account rollback depth (in frames) here.
+        """
+        proc = self.processor
+        frame = proc.frames_by_uid.get(violation.load.frame_uid)
+        if frame is None:
+            return
+        boundary = self.epoch_start(epoch)
+        target = frame
+        for candidate in proc.frames:
+            if candidate.seq >= boundary:
+                target = candidate
+                break
+        if self.epoch_granular:
+            proc.stats.epoch_rollbacks += 1
+            proc.stats.epoch_rollback_depth += frame.seq - target.seq
+        proc.squash_from(target.seq, target.block.name, cause="violation")
+
     # --- Processor-side seams ------------------------------------------
 
     def handle_violation(self, violation: "Violation") -> None:
         """React to a :class:`~repro.uarch.lsq.Violation` action.
 
-        Default: the canonical squash-and-refetch response.  The wait bit
-        is set first — even when this frame was already squashed by an
-        earlier violation in the same batch, its refetched instance must
-        wait, or batches of violating loads would take turns
-        mis-speculating forever.
+        Default: the canonical squash-and-refetch response, routed
+        through the epoch seam — the violating frame's epoch is rolled
+        back to its start boundary (under epoch-of-one, the frame
+        itself).  The wait bit is set first — even when this frame was
+        already squashed by an earlier violation in the same batch, its
+        refetched instance must wait, or batches of violating loads
+        would take turns mis-speculating forever.
         """
         proc = self.processor
         proc.lsq.poison(violation.load.seq, violation.load.static_id)
@@ -116,7 +187,7 @@ class RecoveryProtocol:
                              violation.load.lsid,
                              violation.store.frame_uid,
                              violation.store.lsid)
-        proc.squash_from(frame.seq, frame.block.name, cause="violation")
+        self.rollback_to_epoch(self.epoch_of(frame.seq), violation)
 
     def frame_outputs_ready(self, frame: "Frame") -> bool:
         """Commit gate: may this frame's outputs commit *now*?

@@ -49,7 +49,7 @@ class TestRunner:
 class TestExperiments:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {"t1", "t2", "e1", "e2", "e3", "e4",
-                                    "e5", "e6", "e7", "e8", "e9"}
+                                    "e5", "e6", "e7", "e8", "e9", "e10"}
 
     def test_t1(self):
         table = table_t1()
@@ -80,8 +80,13 @@ class TestCli:
         out = capsys.readouterr().out
         assert "e1" in out and "t2" in out
         assert "recovery protocols" in out
-        for name in ("dsre", "flush", "hybrid"):
+        for name in ("dsre", "flush", "hybrid", "txwave"):
             assert name in out
+        # Capability flags: dsre needs the commit wave, txwave is the
+        # only epoch-granular protocol, flush has neither capability.
+        assert "dsre     [commit-wave" in out
+        assert "txwave   [epoch" in out
+        assert "flush    [-" in out
 
     def test_unknown_experiment(self, capsys):
         assert cli_main(["zzz"]) == 2

@@ -44,8 +44,12 @@ def _serialize(action):
 
 
 #: Event methods whose calls and returned action streams are recorded.
+#: ``epoch_mem_final`` is the epoch seam's commit-gate query (polled by
+#: epoch-granular protocols): the indexed emptiness check must return the
+#: same booleans, in the same call sequence, as the naive full scan.
 _RECORDED = ("load_request", "load_null", "load_addr_final", "store_update",
-             "register_frame", "drop_frame", "commit_frame", "poison")
+             "register_frame", "drop_frame", "commit_frame", "poison",
+             "epoch_mem_final")
 
 
 def _recorder(base_cls, log):

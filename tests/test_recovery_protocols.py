@@ -12,20 +12,23 @@ from repro.uarch.config import default_config
 from repro.uarch.processor import Processor
 from repro.uarch.recovery import (DsreRecovery, FlushRecovery,
                                   HybridRecovery, RecoveryProtocol,
-                                  build_recovery, get_protocol,
-                                  protocol_names, register_protocol)
+                                  TxWaveRecovery, build_recovery,
+                                  get_protocol, protocol_names,
+                                  register_protocol)
 from repro.workloads.registry import KERNELS
 
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert protocol_names() == ("dsre", "flush", "hybrid")
+        assert protocol_names() == ("dsre", "flush", "hybrid", "txwave")
         assert get_protocol("flush") is FlushRecovery
         assert get_protocol("dsre") is DsreRecovery
         assert get_protocol("hybrid") is HybridRecovery
+        assert get_protocol("txwave") is TxWaveRecovery
 
     def test_unknown_name_lists_registered(self):
-        with pytest.raises(ConfigError, match="dsre, flush, hybrid"):
+        with pytest.raises(ConfigError,
+                           match="dsre, flush, hybrid, txwave"):
             get_protocol("undo")
 
     def test_config_error_derived_from_registry(self):
@@ -62,6 +65,12 @@ class TestRegistry:
         assert not FlushRecovery.requires_commit_wave
         assert DsreRecovery.requires_commit_wave
         assert HybridRecovery.requires_commit_wave
+        assert not TxWaveRecovery.requires_commit_wave
+        # Epoch granularity: txwave alone opts into the epoch seam; the
+        # legacy protocols all run the degenerate epoch-of-one mapping.
+        assert TxWaveRecovery.epoch_granular
+        for cls in (FlushRecovery, DsreRecovery, HybridRecovery):
+            assert not cls.epoch_granular
 
 
 class TestProcessorSeam:

@@ -1,0 +1,137 @@
+"""Work-accounting conformance: every registered recovery protocol must
+report internally consistent FU-work attribution.
+
+The invariant is exact, not approximate: FU work is counted at *issue*
+(``fu_work_issued``), and every mapped frame ends in exactly one of
+commit (its exec passes land in ``fu_work_committed``) or squash (they
+land in ``squashed_executions``), so
+
+    fu_work_issued == fu_work_committed + squashed_executions
+
+must hold for any protocol, program, and window size.  Parametrized over
+``protocol_names()`` like tests/test_recovery_conformance.py, so a newly
+registered protocol is audited with no test changes.  The epoch seam's
+degenerate contract is checked too: protocols that do not opt into
+``epoch_granular`` run epoch-of-one, meaning one epoch close per
+committed block and zero epoch rollbacks.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import run_program
+from repro.harness.runner import STANDARD_POINTS, golden_of, run_point
+from repro.uarch.config import default_config
+from repro.uarch.processor import Processor
+from repro.uarch.recovery import get_protocol, protocol_names
+from repro.workloads.common import KernelInstance
+from repro.workloads.randprog import generate
+from repro.workloads.registry import KERNELS
+
+SEEDS = [0, 1, 2, 3, 5, 8, 13, 21]
+PROTOCOLS = list(protocol_names())
+
+
+def _instance(seed, n_blocks=4, ops_per_block=8):
+    rp = generate(seed, n_blocks=n_blocks, ops_per_block=ops_per_block)
+    _, state = run_program(rp.program)
+    return KernelInstance(
+        name=f"rand{seed}",
+        program=rp.program,
+        expected_regs={r: state.get_reg(r) for r in rp.check_regs},
+        expected_mem_words=dict(state.memory.nonzero_words()))
+
+
+def _run_protocol(instance, protocol, **overrides):
+    config = default_config(dependence_policy="aggressive",
+                            recovery=protocol, **overrides)
+    processor = Processor(instance.program, config, instance.initial_regs,
+                          golden=golden_of(instance))
+    result = processor.run()
+    problems = instance.check(processor.arch)
+    assert not problems, f"{instance.name} @ {protocol}: {problems}"
+    return result
+
+
+def _check_accounting(stats, label):
+    assert stats.fu_work_issued == \
+        stats.fu_work_committed + stats.squashed_executions, (
+            f"{label}: issued {stats.fu_work_issued} != committed "
+            f"{stats.fu_work_committed} + squashed "
+            f"{stats.squashed_executions}")
+    # ``executions`` counts FU *completions*; a pass squashed while
+    # still in flight is issued but never completes, so completions can
+    # only undercount issues, never exceed them.
+    assert stats.executions <= stats.fu_work_issued, label
+    assert stats.fu_work_committed >= 0, label
+    # Depth accumulates only when rollbacks happen.
+    if stats.epoch_rollbacks == 0:
+        assert stats.epoch_rollback_depth == 0, label
+
+
+def _check_epoch_contract(stats, protocol, label):
+    if get_protocol(protocol).epoch_granular:
+        # Bulk commit: closes can only be rarer than block commits.
+        assert stats.epochs_closed <= stats.committed_blocks, label
+    else:
+        # Degenerate epoch-of-one: every committed block closes its own
+        # epoch, and the epoch rollback counters never move.
+        assert stats.epochs_closed == stats.committed_blocks, label
+        assert stats.epoch_rollbacks == 0, label
+        assert stats.epoch_rollback_depth == 0, label
+
+
+class TestWorkAccounting:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_seeded_random_programs(self, seed, protocol):
+        result = _run_protocol(_instance(seed), protocol)
+        label = f"rand{seed} @ {protocol}"
+        _check_accounting(result.stats, label)
+        _check_epoch_contract(result.stats, protocol, label)
+        assert result.stats.fu_work_committed > 0, label
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_tiny_window(self, protocol):
+        # One in-flight frame: epoch closes must still fire (window
+        # saturation is txwave's liveness valve here).
+        result = _run_protocol(_instance(7), protocol, max_frames=1)
+        label = f"rand7/max_frames=1 @ {protocol}"
+        _check_accounting(result.stats, label)
+        _check_epoch_contract(result.stats, protocol, label)
+
+    @settings(max_examples=10, deadline=None, derandomize=True,
+              database=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.function_scoped_fixture])
+    @given(seed=st.integers(min_value=0, max_value=100_000),
+           protocol=st.sampled_from(PROTOCOLS))
+    def test_property_random_programs(self, seed, protocol):
+        result = _run_protocol(_instance(seed), protocol)
+        label = f"rand{seed} @ {protocol}"
+        _check_accounting(result.stats, label)
+        _check_epoch_contract(result.stats, protocol, label)
+
+    @pytest.mark.parametrize("point", sorted(STANDARD_POINTS))
+    def test_kernel_points(self, point):
+        # Real kernels through the runner's standard machine points —
+        # stencil is the violation-heavy one, so epoch rollback actually
+        # fires for txwave here.
+        instance = KERNELS["stencil"].build_test()
+        result = run_point(instance, point)
+        label = f"stencil @ {point}"
+        _check_accounting(result.stats, label)
+        _check_epoch_contract(
+            result.stats, STANDARD_POINTS[point][1], label)
+
+    @pytest.mark.parametrize("epoch_blocks", [1, 2, 3, 8])
+    def test_txwave_every_epoch_size(self, epoch_blocks):
+        # The accounting must close at any epoch granularity, including
+        # epoch_blocks=1 (txwave's own degenerate epoch-of-one).
+        result = _run_protocol(_instance(13), "txwave",
+                               txwave_epoch_blocks=epoch_blocks)
+        label = f"rand13 @ txwave/{epoch_blocks}"
+        _check_accounting(result.stats, label)
+        assert result.stats.epochs_closed <= \
+            result.stats.committed_blocks, label
