@@ -72,6 +72,19 @@ def _print_session_metrics(root: str) -> None:
     print(f"  specialization  {m.get('specialize_hits', 0)} hits, "
           f"{m.get('specialize_misses', 0)} misses, "
           f"{m.get('specialize_declined', 0)} declined")
+    elided = m.get("cells_elided", 0)
+    if elided or m.get("representative_runs", 0) \
+            or m.get("elision_fallbacks", 0):
+        print(f"  elision         {elided} cells forwarded from "
+              f"{m.get('representative_runs', 0)} clean representatives, "
+              f"{m.get('elision_fallbacks', 0)} dirty fallbacks")
+    store_hits = m.get("plan_cache_hits", 0)
+    store_misses = m.get("plan_cache_misses", 0)
+    golden_disk = m.get("golden_store_hits", 0)
+    if store_hits or store_misses or golden_disk:
+        print(f"  plan store      {store_hits} plan hits, "
+              f"{store_misses} plan misses, "
+              f"{golden_disk} golden-store hits")
     issued = m.get("fu_work_issued", 0)
     if issued:
         committed = m.get("fu_work_committed", 0)
@@ -101,6 +114,12 @@ def _cache_command(args: List[str], root: str) -> int:
                   f"(reaped by 'cache clear' when aged)")
         for kernel, count in stats["per_kernel"].items():
             print(f"  {kernel:12s} {count}")
+        for label, section in (("plan store", "blockplans"),
+                               ("golden store", "golden_store")):
+            info = stats.get(section, {})
+            if info.get("entries"):
+                print(f"{label:16s}{info['entries']} entries, "
+                      f"{info['bytes'] / 1024.0:.1f} KiB")
         _print_session_metrics(root)
         return 0
     if args == ["clear"]:
@@ -226,6 +245,7 @@ def _corpus_command(argv: List[str]) -> int:
                   f"cells {cells if cells is not None else '?'}  "
                   f"completed {summary['completed']}  "
                   f"executed {summary['executed_lines']}  "
+                  f"forwarded {summary['forwarded_lines']}  "
                   f"cached {summary['cache_lines']}  "
                   f"re-executed {summary['reexecuted_cells']}")
         return 0
@@ -241,6 +261,7 @@ def _corpus_command(argv: List[str]) -> int:
     shard = f"shard {args.shard[0]}/{args.shard[1]}  " if args.shard else ""
     print(f"plan {outcome['plan'][:12]}  {shard}"
           f"cells {outcome['cells']}  executed {outcome['executed']}  "
+          f"elided {outcome['elided']}  "
           f"from-cache {outcome['from_cache']}  "
           f"foreign {outcome['foreign']}")
     print(f"[sweep: {runner.summary()}]")

@@ -37,8 +37,11 @@ PLANS_DIR = "plans"
 #: Bump when the manifest/journal line layout changes.
 JOURNAL_SCHEMA = 1
 
-#: Cell-completion sources a journal line may carry.
-SOURCES = ("executed", "cache")
+#: Cell-completion sources a journal line may carry: ``executed``
+#: (simulated fresh this run), ``cache`` (served by the result cache),
+#: ``forwarded`` (cross-point elision: a clean representative's record
+#: admitted under this cell's key — see repro.harness.elide).
+SOURCES = ("executed", "cache", "forwarded")
 
 
 def plan_digest(keys: Sequence[str]) -> str:
@@ -154,6 +157,7 @@ class PlanJournal:
         """Journal-level accounting (used by the CLI and tests)."""
         executed = 0
         cached = 0
+        forwarded = 0
         keys = set()
         reexecuted = 0
         seen_executed: Dict[str, int] = {}
@@ -167,6 +171,8 @@ class PlanJournal:
                     reexecuted += 1
             elif entry.get("source") == "cache":
                 cached += 1
+            elif entry.get("source") == "forwarded":
+                forwarded += 1
         manifest = self.manifest()
         total = len(manifest["cells"]) if manifest else None
         return {
@@ -175,6 +181,7 @@ class PlanJournal:
             "completed": len(keys),
             "executed_lines": executed,
             "cache_lines": cached,
+            "forwarded_lines": forwarded,
             "reexecuted_cells": reexecuted,
         }
 

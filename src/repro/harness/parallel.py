@@ -47,8 +47,10 @@ from ..uarch.predictor import PredictorStats
 from ..uarch.processor import Processor, SimResult
 from ..workloads.common import KernelInstance
 from .cache import SCHEMA_VERSION, ResultCache, cache_key
+from .elide import elide_pairs
 from .journal import PlanJournal, plan_digest
-from .pool import SweepMetrics, WorkerPool, golden_for, run_cell_chunk
+from .pool import (GOLDEN_STORE_COUNTS, SweepMetrics, WorkerPool,
+                   configure_golden_store, golden_for, run_cell_chunk)
 from .runner import POINT_ORDER
 from .sweep import SweepCell, SweepPlan
 
@@ -67,7 +69,10 @@ _SESSION_SUM_KEYS = ("plans_run", "cells_executed", "cells_from_cache",
                      "specialize_declined",
                      "fu_work_issued", "fu_work_committed",
                      "squashed_executions", "wave_operand_sends",
-                     "epoch_rollbacks", "epoch_rollback_depth")
+                     "epoch_rollbacks", "epoch_rollback_depth",
+                     "cells_elided", "representative_runs",
+                     "elision_fallbacks", "plan_cache_hits",
+                     "plan_cache_misses", "golden_store_hits")
 
 #: Block-specialization counters lifted from executed cells' SimStats
 #: (cached cells are excluded — they did no specialization work in this
@@ -84,6 +89,13 @@ _SPECIALIZE_KEYS = ("specialize_hits", "specialize_misses",
 _WORK_KEYS = ("fu_work_issued", "fu_work_committed",
               "squashed_executions", "wave_operand_sends",
               "epoch_rollbacks", "epoch_rollback_depth")
+
+#: Cross-point elision counters per plan (repro.harness.elide).
+_ELIDE_KEYS = ("elided", "representatives", "fallbacks")
+
+#: Persistent plan/golden store counters per plan.
+_PLANSTORE_KEYS = ("plan_cache_hits", "plan_cache_misses",
+                   "golden_store_hits")
 
 
 def session_shard_path(root: str, pid: Optional[int] = None) -> str:
@@ -205,6 +217,11 @@ class CellResult:
     predictor_stats: PredictorStats
     arch_digest: str
     from_cache: bool = False
+    #: Point-invariance certificate dict (``None`` for pre-certificate
+    #: records) and, for a cell served by cross-point elision, the cache
+    #: key of the clean representative its record was forwarded from.
+    certificate: Optional[dict] = None
+    forwarded_from: Optional[str] = None
 
     @property
     def cycles(self) -> int:
@@ -249,7 +266,8 @@ def _differential_problems(golden_state: ArchState,
 
 
 def execute_cell(cell: SweepCell, golden: Optional[Tuple] = None,
-                 frame_arena: Optional[dict] = None) -> dict:
+                 frame_arena: Optional[dict] = None,
+                 config: Optional[MachineConfig] = None) -> dict:
     """Run one cell and return its cache record.
 
     Runs the timing simulation against the kernel's golden run — the
@@ -265,7 +283,8 @@ def execute_cell(cell: SweepCell, golden: Optional[Tuple] = None,
     window's frame construction.
     """
     instance = cell.instance
-    config = cell.config()
+    if config is None:
+        config = cell.config()
     if golden is None:
         golden = run_program(instance.program, instance.initial_regs)
     golden_trace, golden_state = golden
@@ -295,6 +314,12 @@ def execute_cell(cell: SweepCell, golden: Optional[Tuple] = None,
         },
         "arch_digest": arch_state_digest(result.arch),
         "halted": result.halted,
+        # Top-level (not under "result"): the certificate is sweep-layer
+        # provenance, not a simulated-machine counter — SimStats layout
+        # stays pinned and old cache records remain valid (a record
+        # without a certificate is simply never forwardable).
+        "certificate": result.certificate.as_dict()
+        if result.certificate is not None else None,
     }
 
 
@@ -314,6 +339,8 @@ def result_from_record(record: dict, from_cache: bool) -> CellResult:
                                             payload["predictor"]),
         arch_digest=record["arch_digest"],
         from_cache=from_cache,
+        certificate=record.get("certificate"),
+        forwarded_from=record.get("forwarded_from"),
     )
 
 
@@ -366,11 +393,25 @@ class ParallelRunner:
                              "lives in the cache root)")
         #: The journal of the most recent run_plan/fill_plan call.
         self.last_journal: Optional[PlanJournal] = None
+        # Attach the persistent plan/golden stores to the cache root
+        # *before* any pool forks, so workers inherit the roots — and
+        # detach them when this runner has no cache, so an uncached
+        # session never reads a previous session's stores.
+        from ..uarch.specialize import configure_plan_store
+        configure_plan_store(cache.root if cache is not None else None)
+        configure_golden_store(cache.root if cache is not None else None)
         #: Counters merged across every cell this runner has produced
         #: (cached or fresh) — the whole-session aggregate.
         self.merged_stats = SimStats()
         self.cells_executed = 0
         self.cells_from_cache = 0
+        #: Cross-point elision session totals (repro.harness.elide).
+        self.cells_elided = 0
+        self.representative_runs = 0
+        self.elision_fallbacks = 0
+        #: Persistent plan/golden store session totals.
+        self.planstore_totals: Dict[str, int] = \
+            dict.fromkeys(_PLANSTORE_KEYS, 0)
         #: The persistent pool; created lazily on the first plan that
         #: needs one, then reused until :meth:`close`.
         self.pool = pool
@@ -426,19 +467,27 @@ class ParallelRunner:
         self._plan_specialize = dict.fromkeys(_SPECIALIZE_KEYS, 0)
         self._plan_work = dict.fromkeys(_WORK_KEYS, 0)
         for index, record in self._execute(cells, digests, pending):
+            forwarded = record.get("forwarded_from")
             self._admit(keys[index], record)
-            self._note_cell_stats(record)
+            if not forwarded:
+                # Forwarded records replay the representative's counters;
+                # folding them in would double-count its work.
+                self._note_cell_stats(record)
             if journal is not None:
-                journal.record(index, keys[index], "executed")
+                journal.record(index, keys[index],
+                               "forwarded" if forwarded else "executed")
             results[index] = result_from_record(record, from_cache=False)
 
         for result in results:
             self.merged_stats.merge(result.stats)
             if result.from_cache:
                 self.cells_from_cache += 1
+            elif result.forwarded_from:
+                self.cells_elided += 1
             else:
                 self.cells_executed += 1
-        self._account_plan(len(cells), len(pending),
+        self._account_plan(len(cells),
+                           len(pending) - self._plan_elide["elided"],
                            time.perf_counter() - started)
         return results
 
@@ -479,15 +528,22 @@ class ParallelRunner:
                 journal.record(index, keys[index], "cache")
 
         executed = 0
+        forwarded_cells = 0
         self._plan_specialize = dict.fromkeys(_SPECIALIZE_KEYS, 0)
         self._plan_work = dict.fromkeys(_WORK_KEYS, 0)
         for index, record in self._execute(cells, digests, owned):
+            forwarded = record.get("forwarded_from")
             self._admit(keys[index], record)
-            self._note_cell_stats(record)
+            if forwarded:
+                forwarded_cells += 1
+            else:
+                self._note_cell_stats(record)
+                executed += 1
             if journal is not None:
-                journal.record(index, keys[index], "executed")
-            executed += 1
+                journal.record(index, keys[index],
+                               "forwarded" if forwarded else "executed")
         self.cells_executed += executed
+        self.cells_elided += forwarded_cells
         self.cells_from_cache += len(cached)
         self._account_plan(len(cells), executed,
                            time.perf_counter() - started)
@@ -497,6 +553,7 @@ class ParallelRunner:
             "cells": len(cells),
             "from_cache": len(cached),
             "executed": executed,
+            "elided": forwarded_cells,
             "foreign": len(foreign),
             "owned": len(owned),
         }
@@ -536,6 +593,8 @@ class ParallelRunner:
         self._plan_golden_hits = 0
         self._plan_dedup_hits = 0
         self._plan_pooled = False
+        self._plan_elide = dict.fromkeys(_ELIDE_KEYS, 0)
+        self._plan_planstore = dict.fromkeys(_PLANSTORE_KEYS, 0)
         if not pending:
             self._plan_kernels = 0
             return iter(())
@@ -563,10 +622,14 @@ class ParallelRunner:
     def _execute_inproc(self, cells: List[SweepCell], digests: List[str],
                         pending: List[int]):
         """In-process execution, one ``(index, record)`` per yield."""
+        from ..uarch.specialize import PLAN_STORE_COUNTS
         arenas: Dict[int, dict] = {}
-        for index in pending:
-            instance = cells[index].instance
-            golden, fresh = golden_for(instance, digests[index])
+        plan_hits0 = PLAN_STORE_COUNTS["hits"]
+        plan_miss0 = PLAN_STORE_COUNTS["misses"]
+        golden_store0 = GOLDEN_STORE_COUNTS["hits"]
+
+        def execute(index, cell, config):
+            golden, fresh = golden_for(cell.instance, digests[index])
             if fresh:
                 self._plan_golden_fresh += 1
             else:
@@ -575,9 +638,19 @@ class ParallelRunner:
             # digest): frames parked by one machine point are reused
             # by the kernel's next point, and a frame's block
             # references always belong to the running program.
-            arena = arenas.setdefault(id(instance.program), {})
-            yield index, execute_cell(cells[index], golden=golden,
-                                      frame_arena=arena)
+            arena = arenas.setdefault(id(cell.instance.program), {})
+            return execute_cell(cell, golden=golden, frame_arena=arena,
+                                config=config)
+
+        yield from elide_pairs(
+            ((index, cells[index], digests[index]) for index in pending),
+            execute, self._plan_elide)
+        plan = self._plan_planstore
+        plan["plan_cache_hits"] += PLAN_STORE_COUNTS["hits"] - plan_hits0
+        plan["plan_cache_misses"] += \
+            PLAN_STORE_COUNTS["misses"] - plan_miss0
+        plan["golden_store_hits"] += \
+            GOLDEN_STORE_COUNTS["hits"] - golden_store0
 
     def _execute_pooled(self, cells: List[SweepCell], digests: List[str],
                         groups: Dict[str, List[int]]):
@@ -605,6 +678,13 @@ class ParallelRunner:
                                      labels=chunk_digests):
             self._plan_golden_fresh += payload["golden_fresh"]
             self._plan_golden_hits += payload["golden_hits"]
+            self._plan_elide["elided"] += payload.get("elided", 0)
+            self._plan_elide["representatives"] += \
+                payload.get("representatives", 0)
+            self._plan_elide["fallbacks"] += payload.get("fallbacks", 0)
+            for key, value in payload.get("planstore", {}).items():
+                if key in self._plan_planstore:
+                    self._plan_planstore[key] += int(value)
             for index, record in payload["records"]:
                 yield index, record
 
@@ -644,6 +724,10 @@ class ParallelRunner:
         fresh = self._plan_golden_fresh
         spec = self._plan_specialize
         work = self._plan_work
+        elide = getattr(self, "_plan_elide", None) \
+            or dict.fromkeys(_ELIDE_KEYS, 0)
+        planstore = getattr(self, "_plan_planstore", None) \
+            or dict.fromkeys(_PLANSTORE_KEYS, 0)
         self.plans_run += 1
         self.wall_seconds += wall
         self.kernels_executed += kernels
@@ -652,14 +736,20 @@ class ParallelRunner:
         self.specialize_hits += spec["specialize_hits"]
         self.specialize_misses += spec["specialize_misses"]
         self.specialize_declined += spec["specialize_declined"]
+        self.representative_runs += elide["representatives"]
+        self.elision_fallbacks += elide["fallbacks"]
+        for key in _PLANSTORE_KEYS:
+            self.planstore_totals[key] += planstore[key]
         for key in _WORK_KEYS:
             self.work_totals[key] += work[key]
         self.last_metrics = SweepMetrics(
             cells=cells,
             executed=executed,
-            from_cache=cells - executed,
+            from_cache=cells - executed - elide["elided"],
             wall_seconds=wall,
-            cells_per_sec=cells / wall if wall > 0 else 0.0,
+            # Honest throughput: only *simulated* cells count; elided
+            # and cached cells are broken out in their own fields.
+            cells_per_sec=executed / wall if wall > 0 else 0.0,
             kernels_executed=kernels,
             golden_fresh_runs=fresh,
             golden_memo_hits=self._plan_golden_hits,
@@ -677,6 +767,12 @@ class ParallelRunner:
             wave_operand_sends=work["wave_operand_sends"],
             epoch_rollbacks=work["epoch_rollbacks"],
             epoch_rollback_depth=work["epoch_rollback_depth"],
+            elided_cells=elide["elided"],
+            representative_runs=elide["representatives"],
+            elision_fallbacks=elide["fallbacks"],
+            plan_cache_hits=planstore["plan_cache_hits"],
+            plan_cache_misses=planstore["plan_cache_misses"],
+            golden_store_hits=planstore["golden_store_hits"],
         )
         self._write_session_metrics()
 
@@ -700,6 +796,10 @@ class ParallelRunner:
             "specialize_misses": self.specialize_misses,
             "specialize_declined": self.specialize_declined,
             **{key: self.work_totals[key] for key in _WORK_KEYS},
+            "cells_elided": self.cells_elided,
+            "representative_runs": self.representative_runs,
+            "elision_fallbacks": self.elision_fallbacks,
+            **{key: self.planstore_totals[key] for key in _PLANSTORE_KEYS},
             "last_plan": self.last_metrics.as_dict()
             if self.last_metrics else None,
         }
@@ -753,14 +853,16 @@ class ParallelRunner:
     def summary(self) -> str:
         parts = [f"{self.cells_executed} simulated",
                  f"{self.cells_from_cache} from cache"]
+        if self.cells_elided:
+            parts.insert(1, f"{self.cells_elided} elided")
         if self.cache is not None:
             s = self.cache.session
             parts.append(f"cache {s.hits} hits / {s.misses} misses"
                          + (f" / {s.corrupt} corrupt" if s.corrupt else ""))
         parts.append(f"{self.merged_stats.cycles} cycles simulated")
         if self.wall_seconds > 0:
-            total = self.cells_executed + self.cells_from_cache
-            parts.append(f"{total / self.wall_seconds:.1f} cells/s")
+            parts.append(f"{self.cells_executed / self.wall_seconds:.1f} "
+                         "simulated cells/s")
         if self.kernels_executed:
             parts.append("golden runs/kernel "
                          f"{self.golden_fresh / self.kernels_executed:.2f}")

@@ -28,7 +28,9 @@ scattered back into plan order, so tables stay byte-identical for every
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
 import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
@@ -40,6 +42,7 @@ from ..arch.interp import run_program
 from ..arch.state import ArchState
 from ..arch.trace import ExecutionTrace
 from ..errors import SimulationError
+from ..uarch.specialize import PLAN_STORE_COUNTS
 
 
 class PoolExhaustedError(SimulationError, BrokenProcessPool):
@@ -68,6 +71,64 @@ _GOLDEN_MEMO: "OrderedDict[str, Tuple[ExecutionTrace, ArchState]]" = \
 #: programs.
 _GOLDEN_MEMO_CAP = 64
 
+# ----------------------------------------------------------------------
+# Persistent golden store (under the result-cache root, like blockplans)
+# ----------------------------------------------------------------------
+
+#: ``<cache root>/golden`` or None; set by :func:`configure_golden_store`
+#: before the pool forks, so workers inherit it.
+_GOLDEN_STORE_ROOT: Optional[str] = None
+
+#: Pickle schema marker; bump on layout changes.
+_GOLDEN_STORE_SCHEMA = "repro-golden/v1"
+
+#: Golden (trace, state) pairs served from disk instead of a fresh
+#: interpreter run, this process.
+GOLDEN_STORE_COUNTS: Dict[str, int] = {"hits": 0}
+
+
+def configure_golden_store(root: Optional[str]) -> None:
+    """Attach (or detach) the persistent golden-run store."""
+    global _GOLDEN_STORE_ROOT
+    _GOLDEN_STORE_ROOT = os.path.join(root, "golden") if root else None
+
+
+def _golden_path(digest: str) -> str:
+    name = hashlib.sha256(
+        f"{_GOLDEN_STORE_SCHEMA}\n{digest}".encode("utf-8")).hexdigest()
+    return os.path.join(_GOLDEN_STORE_ROOT, name[:2], name + ".pkl")
+
+
+def _golden_from_disk(digest: str):
+    if _GOLDEN_STORE_ROOT is None:
+        return None
+    try:
+        with open(_golden_path(digest), "rb") as fh:
+            payload = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return None
+    if (not isinstance(payload, tuple) or len(payload) != 3
+            or payload[0] != _GOLDEN_STORE_SCHEMA):
+        return None
+    return payload[1], payload[2]
+
+
+def _golden_to_disk(digest: str,
+                    golden: Tuple[ExecutionTrace, ArchState]) -> None:
+    """Best-effort write-through (atomic tmp+replace)."""
+    if _GOLDEN_STORE_ROOT is None:
+        return
+    path = _golden_path(digest)
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + f".tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            pickle.dump((_GOLDEN_STORE_SCHEMA, golden[0], golden[1]), fh)
+        os.replace(tmp, path)
+    except (OSError, pickle.PicklingError):
+        pass
+
 
 def golden_for(instance, digest: Optional[str] = None,
                ) -> Tuple[Tuple[ExecutionTrace, ArchState], bool]:
@@ -89,16 +150,33 @@ def golden_for(instance, digest: Optional[str] = None,
     if golden is not None:
         memo.move_to_end(digest)
         return golden, False
+    golden = _golden_from_disk(digest)
+    if golden is not None:
+        # Served by the persistent store: no interpreter run was paid,
+        # so this is *not* fresh — golden_runs_per_kernel only drops.
+        GOLDEN_STORE_COUNTS["hits"] += 1
+        memo[digest] = golden
+        while len(memo) > _GOLDEN_MEMO_CAP:
+            memo.popitem(last=False)
+        return golden, False
     golden = run_program(instance.program, instance.initial_regs)
     memo[digest] = golden
     while len(memo) > _GOLDEN_MEMO_CAP:
         memo.popitem(last=False)
+    _golden_to_disk(digest, golden)
     return golden, True
 
 
 def reset_golden_memo() -> None:
-    """Drop every memoised golden run (tests and cold benchmarks)."""
+    """Drop every memoised golden run (tests and cold benchmarks).
+
+    Also detaches the persistent golden store: it is just another memo
+    tier, and a "cold" measurement that silently read golden runs from a
+    previous session's disk store would not be cold.  A runner with a
+    cache re-attaches the store when it is constructed.
+    """
     _GOLDEN_MEMO.clear()
+    configure_golden_store(None)
 
 
 def run_cell_chunk(chunk: Sequence) -> dict:
@@ -113,6 +191,7 @@ def run_cell_chunk(chunk: Sequence) -> dict:
     # Imported here: repro.harness.parallel imports this module at top
     # level (the runner owns a WorkerPool), so the reverse import must be
     # deferred until the worker actually executes a chunk.
+    from .elide import elide_pairs
     from .parallel import execute_cell
 
     digests = {cell.instance.identity_digest() for _, cell in chunk}
@@ -122,9 +201,14 @@ def run_cell_chunk(chunk: Sequence) -> dict:
     digest = next(iter(digests))
     golden_fresh = 0
     golden_hits = 0
-    records = []
     arenas: Dict[int, dict] = {}
-    for index, cell in chunk:
+    counts = {"representatives": 0, "elided": 0, "fallbacks": 0}
+    plan_hits0 = PLAN_STORE_COUNTS["hits"]
+    plan_miss0 = PLAN_STORE_COUNTS["misses"]
+    golden_store0 = GOLDEN_STORE_COUNTS["hits"]
+
+    def execute(index, cell, config):
+        nonlocal golden_fresh, golden_hits
         golden, fresh = golden_for(cell.instance, digest)
         if fresh:
             golden_fresh += 1
@@ -133,13 +217,30 @@ def run_cell_chunk(chunk: Sequence) -> dict:
         # Per-program-object frame arena: the chunk's machine points
         # hand their retired frames to the next point's processor.
         arena = arenas.setdefault(id(cell.instance.program), {})
-        records.append((index, execute_cell(cell, golden=golden,
-                                            frame_arena=arena)))
+        return execute_cell(cell, golden=golden, frame_arena=arena,
+                            config=config)
+
+    # Cross-point elision runs *inside* the chunk: a kernel's whole
+    # point grid lives in one task (the runner guarantees it), so a
+    # clean representative forwards to its siblings right here without
+    # a second scheduling phase or an extra golden run.
+    records = list(elide_pairs(
+        ((index, cell, digest) for index, cell in chunk),
+        execute, counts))
     return {
         "records": records,
         "pid": os.getpid(),
         "golden_fresh": golden_fresh,
         "golden_hits": golden_hits,
+        "elided": counts["elided"],
+        "representatives": counts["representatives"],
+        "fallbacks": counts["fallbacks"],
+        "planstore": {
+            "plan_cache_hits": PLAN_STORE_COUNTS["hits"] - plan_hits0,
+            "plan_cache_misses": PLAN_STORE_COUNTS["misses"] - plan_miss0,
+            "golden_store_hits":
+                GOLDEN_STORE_COUNTS["hits"] - golden_store0,
+        },
     }
 
 
@@ -261,10 +362,13 @@ class SweepMetrics:
     """Sweep-level redundancy and wall-clock accounting for one plan."""
 
     cells: int                   # cells in the plan
-    executed: int                # simulated fresh (cache misses)
+    executed: int                # actually simulated (cache misses
+                                 # minus forwarded siblings)
     from_cache: int              # served by the result cache
     wall_seconds: float          # run_plan wall-clock
-    cells_per_sec: float         # cells / wall_seconds
+    cells_per_sec: float         # *executed* / wall_seconds — elided and
+                                 # cached cells are reported separately
+                                 # so throughput numbers stay honest
     kernels_executed: int        # distinct identity digests simulated
     golden_fresh_runs: int       # functional-interpreter runs actually paid
     golden_memo_hits: int        # golden requests served by a memo
@@ -290,6 +394,19 @@ class SweepMetrics:
     wave_operand_sends: int = 0
     epoch_rollbacks: int = 0
     epoch_rollback_depth: int = 0
+    #: Cross-point elision (repro.harness.elide): cells served by
+    #: forwarding a clean representative's record, the representative
+    #: runs that enabled it, and dirty-certificate groups that fell
+    #: back to per-point simulation.
+    elided_cells: int = 0
+    representative_runs: int = 0
+    elision_fallbacks: int = 0
+    #: Persistent plan/golden stores: block plans (or declines) loaded
+    #: from disk vs. compiled+written-through, and golden runs served
+    #: from disk (no interpreter run paid).
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    golden_store_hits: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -315,4 +432,10 @@ class SweepMetrics:
             "wave_operand_sends": self.wave_operand_sends,
             "epoch_rollbacks": self.epoch_rollbacks,
             "epoch_rollback_depth": self.epoch_rollback_depth,
+            "elided_cells": self.elided_cells,
+            "representative_runs": self.representative_runs,
+            "elision_fallbacks": self.elision_fallbacks,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "golden_store_hits": self.golden_store_hits,
         }

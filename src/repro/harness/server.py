@@ -53,7 +53,8 @@ from ..stats.report import Table
 from ..workloads.registry import KERNELS
 from .cache import ResultCache, cache_key
 from .experiments import EXPERIMENTS, table_t1
-from .parallel import (_WORK_KEYS, ParallelRunner, merge_session_metrics,
+from .parallel import (_ELIDE_KEYS, _PLANSTORE_KEYS, _WORK_KEYS,
+                       ParallelRunner, merge_session_metrics,
                        write_session_shard)
 from .pool import PoolExhaustedError, WorkerPool, run_cell_chunk
 from .runner import POINT_ORDER, STANDARD_POINTS
@@ -253,6 +254,13 @@ class _EngineRunner(ParallelRunner):
         self._plan_golden_fresh = 0
         self._plan_golden_hits = 0
         self._plan_dedup_hits = 0
+        # Per-plan elision view: "elided" counts this plan's forwarded
+        # records so run_plan's executed/from_cache split stays exact.
+        # Representatives/fallbacks (and plan-store traffic) are chunk
+        # -level facts that concurrent plans share, so the server counts
+        # them once per chunk (_run_chunk) rather than per plan.
+        self._plan_elide = dict.fromkeys(_ELIDE_KEYS, 0)
+        self._plan_planstore = dict.fromkeys(_PLANSTORE_KEYS, 0)
         self._plan_kernels = len({digests[i] for i in pending})
         self._plan_pooled = bool(pending)
         self._job.set_cells([cell.label for cell in cells], pending)
@@ -263,6 +271,8 @@ class _EngineRunner(ParallelRunner):
             self._server.loop)
         records, dedup_hits = future.result()
         self._plan_dedup_hits = dedup_hits
+        self._plan_elide["elided"] = sum(
+            1 for _, record in records if record.get("forwarded_from"))
         return records
 
 
@@ -341,7 +351,9 @@ class SweepServer:
             "cells_from_cache", "dedup_inflight_hits", "peer_fills",
             "peer_reissues", "golden_fresh", "golden_memo_hits",
             "batches", "chunks", "chunk_failures", "pool_exhausted",
-            "pool_warm_chunks", "kernels_executed")}
+            "pool_warm_chunks", "kernels_executed",
+            "cells_elided", "representative_runs", "elision_fallbacks",
+            "plan_cache_hits", "plan_cache_misses", "golden_store_hits")}
         self.lost_digests: List[str] = []
         self._jobs: Dict[str, PlanJob] = {}
         self._buckets: Dict[str, TokenBucket] = {}
@@ -466,6 +478,15 @@ class SweepServer:
             "specialize_misses": int(totals["specialize_misses"]),
             "specialize_declined": int(totals["specialize_declined"]),
             **{key: int(totals[key]) for key in _WORK_KEYS},
+            # Chunk-level elision and persistent-store activity: counted
+            # once per executed chunk, so concurrent plans sharing a
+            # chunk (in-flight dedup) never double-report the work.
+            "cells_elided": counters["cells_elided"],
+            "representative_runs": counters["representative_runs"],
+            "elision_fallbacks": counters["elision_fallbacks"],
+            "plan_cache_hits": counters["plan_cache_hits"],
+            "plan_cache_misses": counters["plan_cache_misses"],
+            "golden_store_hits": counters["golden_store_hits"],
             "last_plan": self._last_plan_metrics,
         })
 
@@ -725,7 +746,15 @@ class SweepServer:
                     task.future.set_exception(exc)
             return
         payload = payloads[0]
-        self.counters["cells_executed"] += len(payload["records"])
+        elided = payload.get("elided", 0)
+        self.counters["cells_executed"] += len(payload["records"]) - elided
+        self.counters["cells_elided"] += elided
+        self.counters["representative_runs"] += \
+            payload.get("representatives", 0)
+        self.counters["elision_fallbacks"] += payload.get("fallbacks", 0)
+        for key, value in payload.get("planstore", {}).items():
+            if key in self.counters:
+                self.counters[key] += int(value)
         self.counters["golden_fresh"] += payload["golden_fresh"]
         self.counters["golden_memo_hits"] += payload["golden_hits"]
         for slot, record in payload["records"]:
@@ -779,10 +808,24 @@ class SweepServer:
                     "requested": self.counters["cells_requested"],
                     "executed": self.counters["cells_executed"],
                     "from_cache": self.counters["cells_from_cache"],
+                    "elided": self.counters["cells_elided"],
                     "dedup_inflight_hits":
                         self.counters["dedup_inflight_hits"],
                     "peer_fills": self.counters["peer_fills"],
                     "peer_reissues": self.counters["peer_reissues"],
+                },
+                "elision": {
+                    "elided_cells": self.counters["cells_elided"],
+                    "representative_runs":
+                        self.counters["representative_runs"],
+                    "fallbacks": self.counters["elision_fallbacks"],
+                },
+                "plan_store": {
+                    "plan_cache_hits": self.counters["plan_cache_hits"],
+                    "plan_cache_misses":
+                        self.counters["plan_cache_misses"],
+                    "golden_store_hits":
+                        self.counters["golden_store_hits"],
                 },
                 "golden": {
                     "fresh": self.counters["golden_fresh"],

@@ -137,3 +137,40 @@ def merge_stats(runs: "list[SimStats]") -> SimStats:
     for stats in runs:
         total.merge(stats)
     return total
+
+
+# Test hook: when True every certificate reports dirty, so the sweep
+# elision layer must fall back to per-point simulation.  The soundness
+# suite flips this to prove forced-dirty runs are never forwarded.
+FORCE_DIRTY = False
+
+
+@dataclass
+class InvarianceCertificate:
+    """Conservative proof that a run never consulted the speculation axis.
+
+    Kept separate from :class:`SimStats` on purpose: the cache record
+    layout pins SimStats, ``merge()`` sums every field, and a certificate
+    is a per-run *predicate*, not an additive counter set.  Each field
+    counts one way a dynamic decision could have depended on the
+    dependence policy or recovery protocol; a run is forwardable to
+    sibling machine points only while all of them stay zero.
+    """
+
+    policy_windows: int = 0      # load issued with an older unresolved store
+    deferrals: int = 0           # load actually held back by the policy
+    wrong_values: int = 0        # mis-speculated value seen by the protocol
+    offpath_predictions: int = 0  # predictor answered off the golden path
+    forced: int = 0              # FORCE_DIRTY was set at construction
+
+    @property
+    def clean(self) -> bool:
+        return not (self.policy_windows or self.deferrals
+                    or self.wrong_values or self.offpath_predictions
+                    or self.forced)
+
+    def as_dict(self) -> Dict[str, int]:
+        data = {name: getattr(self, name)
+                for name in self.__dataclass_fields__}
+        data["clean"] = self.clean
+        return data

@@ -50,6 +50,7 @@ from ..arch.memory import SparseMemory
 from ..errors import SimulationError
 from ..isa.block import Block
 from ..spec.policy import DependencePolicy, LoadQuery, StoreView
+from ..stats.counters import InvarianceCertificate
 from .cache import Cache
 
 if TYPE_CHECKING:                                    # pragma: no cover
@@ -186,11 +187,17 @@ class LoadStoreQueue:
 
     def __init__(self, memory: SparseMemory, dcache: Cache,
                  policy: DependencePolicy, forward_latency: int,
-                 protocol: "RecoveryProtocol"):
+                 protocol: "RecoveryProtocol",
+                 certificate: Optional[InvarianceCertificate] = None):
         self.memory = memory
         self.dcache = dcache
         self.policy = policy
         self.forward_latency = forward_latency
+        #: Point-invariance certificate (see stats.counters): dirtied the
+        #: moment any load decision could have gone differently under
+        #: another dependence policy or recovery protocol.
+        self.certificate = certificate if certificate is not None \
+            else InvarianceCertificate()
         #: The machine's recovery protocol; owns the wrong-value response
         #: (see ``_recheck_loads``).
         self.protocol = protocol
@@ -665,6 +672,7 @@ class LoadStoreQueue:
             entry.deferred = True
             self._track_load(entry)
             self.stats.loads_deferred += 1
+            self.certificate.deferrals += 1
             return []
         return self._issue_load(entry)
 
@@ -673,11 +681,18 @@ class LoadStoreQueue:
         self._poisoned.add((seq, static_id))
 
     def _must_wait(self, entry: MemEntry) -> bool:
+        # Every registered policy answers "issue now" when no older
+        # unresolved store exists, so the load decision can only depend
+        # on the policy while one does — that is exactly the certificate
+        # condition, checked once here (O(1) against the sorted index).
+        unresolved_older = self._any_unresolved_older(entry.order_key)
+        if unresolved_older:
+            self.certificate.policy_windows += 1
         policy = self.policy
         if policy.never_waits:
             pass                      # aggressive: skip the view entirely
         elif policy.waits_for_any_unresolved:
-            if self._any_unresolved_older(entry.order_key):
+            if unresolved_older:
                 return True
         elif policy.should_wait(self._load_query(entry),
                                 self._policy_view(entry)):
@@ -686,7 +701,7 @@ class LoadStoreQueue:
             # The wait bit persists until the instance commits: the frame
             # may be re-squashed by an unrelated violation, and the
             # refetched instance must keep waiting too.
-            return self._any_unresolved_older(entry.order_key)
+            return unresolved_older
         return False
 
     def _compute_load(self, entry: MemEntry) -> Tuple[int, int]:
@@ -819,6 +834,7 @@ class LoadStoreQueue:
             correct, _, _, _ = self.speculative_value(load)
             if correct == load.returned_value:
                 continue
+            self.certificate.wrong_values += 1
             self.policy.on_misspeculation(load.static_id, store.static_id)
             self.stats.trainings += 1
             actions.extend(self.protocol.on_wrong_value(self, load, store))
@@ -893,6 +909,7 @@ class LoadStoreQueue:
             return [Confirmed(entry, correct, pending)]
         # Mis-speculated and nothing re-checked it earlier: final redelivery
         # under DSRE (flush mode does not run confirmation at all).
+        self.certificate.wrong_values += 1
         self.stats.final_redeliveries += 1
         _, access_latency = self._compute_load(entry)
         latency = max(access_latency, pending)

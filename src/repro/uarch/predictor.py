@@ -36,6 +36,11 @@ class PredictorStats:
 class NextBlockPredictor:
     """Interface: predict the dynamic successor of a block instance."""
 
+    #: Point-invariance certificate (set by the owning Processor): dirtied
+    #: when a prediction could only have been asked off the golden path —
+    #: i.e. when protocol-dependent turbulence already steered fetch.
+    certificate = None
+
     def __init__(self):
         self.stats = PredictorStats()
 
@@ -102,6 +107,8 @@ class PerfectPredictor(NextBlockPredictor):
             record = self._trace.records[seq]
             if record.name == block.name:
                 return record.next_block
+        if self.certificate is not None:
+            self.certificate.offpath_predictions += 1
         return HALT_LABEL
 
 

@@ -37,7 +37,8 @@ from ..errors import GoldenMismatchError, SimulationError
 from ..isa.instruction import Target, TargetKind
 from ..isa.program import HALT_LABEL, Program
 from ..spec import build_policy
-from ..stats.counters import SimStats
+from ..stats import counters as _counters
+from ..stats.counters import InvarianceCertificate, SimStats
 from .cache import BlockCache, build_hierarchy
 from .config import MachineConfig, default_config
 from .events import EventHooks, format_snapshot, machine_snapshot
@@ -122,6 +123,9 @@ class SimResult:
     l1_stats: object
     predictor_stats: object
     halted: bool
+    #: Point-invariance certificate; ``None`` only for legacy callers that
+    #: build SimResult by hand (treated as non-forwardable by the sweep).
+    certificate: object = None
 
     @property
     def ipc(self) -> float:
@@ -183,10 +187,16 @@ class Processor:
         self.policy = build_policy(self.config, golden)
         self.protocol = build_recovery(self.config)
         self.protocol.bind(self)
+        # FORCE_DIRTY is read through the module so the soundness suite
+        # can flip it after import.
+        self.certificate = InvarianceCertificate(
+            forced=int(bool(_counters.FORCE_DIRTY)))
         self.lsq = LoadStoreQueue(self.arch.memory, self.dcache, self.policy,
                                   self.config.lsq_forward_latency,
-                                  self.protocol)
+                                  self.protocol,
+                                  certificate=self.certificate)
         self.predictor = build_predictor(self.config, golden)
+        self.predictor.certificate = self.certificate
         self.tiles = [ExecTile(i, self.config.tile_coord(i),
                                self.config.issue_width_per_tile)
                       for i in range(self.config.n_tiles)]
@@ -516,7 +526,7 @@ class Processor:
         return SimResult(self.stats, self.config, self.arch,
                          self.lsq.stats, self.network.stats,
                          self.dcache.stats, self.predictor.stats,
-                         halted=True)
+                         halted=True, certificate=self.certificate)
 
     def _next_event_cycle(self) -> Optional[int]:
         # ``cycle + 1`` is the earliest any event can be, so the ready-tile

@@ -141,11 +141,15 @@ class TestGoldenMemo:
         reset_golden_memo()
         plan = SweepPlan()
         inst = KERNELS["queue"].build(12)
-        for point in ("dsre", "aggressive", "storeset"):
+        # Three points that all genuinely simulate (conservative defers
+        # on queue's windows, so cross-point elision forwards nothing):
+        # the chunk must still derive the golden trace exactly once.
+        for point in ("dsre", "aggressive", "conservative"):
             plan.add(inst, point)
         payload = run_cell_chunk(list(enumerate(plan.cells)))
         assert payload["golden_fresh"] == 1
         assert payload["golden_hits"] == 2
+        assert payload["elided"] == 0
         assert len(payload["records"]) == 3
 
 

@@ -21,7 +21,7 @@ import sys
 import textwrap
 
 import repro
-from repro.harness.cache import ResultCache
+from repro.harness.cache import ResultCache, _is_shard_dir
 from repro.harness.experiments import corpus_plan, e9_corpus_ordering
 from repro.harness.journal import PlanJournal, journals_under
 from repro.harness.parallel import ParallelRunner
@@ -93,7 +93,11 @@ class TestCrashResume:
                                        **PLAN_ARGS).render()
         total = _plan_size()
         assert runner.cells_from_cache == KILL_AFTER
-        assert runner.cells_executed == total - KILL_AFTER
+        # Remaining cells were either simulated or served by cross-point
+        # elision (a clean representative forwarded to its siblings) —
+        # both count as completed work, neither re-executes cached cells.
+        assert (runner.cells_executed + runner.cells_elided
+                == total - KILL_AFTER)
 
         # Journal-verified: across both runs no cell executed twice.
         after = journal.summary()
@@ -101,8 +105,9 @@ class TestCrashResume:
         assert after["reexecuted_cells"] == 0
         assert all(n == 1
                    for n in journal.executed_counts().values())
-        assert after["executed_lines"] == total - 1  # the torn cell's
-        # line is missing, but its *work* was cached, never redone.
+        assert (after["executed_lines"] + after["forwarded_lines"]
+                == total - 1)           # the torn cell's line is missing,
+        # but its *work* was cached, never redone.
 
         # And the rendered table is byte-identical to a fresh run.
         assert table == _fresh_table()
@@ -113,8 +118,10 @@ def _merge_cache_roots(dst: str, src: str) -> None:
     hosts' shard fills being rsynced into one root)."""
     for name in os.listdir(src):
         src_dir = os.path.join(src, name)
-        if name == "plans" or not os.path.isdir(src_dir):
-            continue            # journals/session shards stay per-host
+        if not _is_shard_dir(name) or not os.path.isdir(src_dir):
+            continue            # journals, session shards, and the
+            # blockplans/golden stores stay per-host; only the
+            # two-hex-digit record directories merge
         dst_dir = os.path.join(dst, name)
         os.makedirs(dst_dir, exist_ok=True)
         for entry in os.listdir(src_dir):
@@ -136,23 +143,28 @@ class TestShardedFill:
 
         total = _plan_size()
         assert outcomes[0]["plan"] == outcomes[1]["plan"]
-        # Exact partition: every cell executed by exactly one shard,
-        # nothing served from cache, nothing executed twice.
+        # Exact partition: every cell completed (simulated or forwarded
+        # by cross-point elision) by exactly one shard, nothing served
+        # from cache, nothing executed twice.
         assert outcomes[0]["from_cache"] == 0
         assert outcomes[1]["from_cache"] == 0
-        assert outcomes[0]["executed"] + outcomes[1]["executed"] == total
-        assert outcomes[0]["foreign"] == outcomes[1]["executed"]
-        assert outcomes[1]["foreign"] == outcomes[0]["executed"]
+        completed = [o["executed"] + o["elided"] for o in outcomes]
+        assert completed[0] + completed[1] == total
+        assert outcomes[0]["foreign"] == outcomes[1]["owned"]
+        assert outcomes[1]["foreign"] == outcomes[0]["owned"]
+        assert [o["owned"] for o in outcomes] == completed
 
-        executed_keys = []
+        worked_keys = []
         for root in roots:
             journal = PlanJournal(root, outcomes[0]["plan"])
-            executed_keys.append(set(journal.executed_counts()))
-        assert not (executed_keys[0] & executed_keys[1])
+            worked_keys.append(
+                {key for key, source in journal.completed_keys().items()
+                 if source in ("executed", "forwarded")})
+        assert not (worked_keys[0] & worked_keys[1])
         manifest = PlanJournal(roots[0],
                                outcomes[0]["plan"]).manifest()
         all_keys = {cell["key"] for cell in manifest["cells"]}
-        assert executed_keys[0] | executed_keys[1] == all_keys
+        assert worked_keys[0] | worked_keys[1] == all_keys
 
         # Merge host1's records into host0; the unsharded render comes
         # entirely from cache and matches a fresh unsharded run.
